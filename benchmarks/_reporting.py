@@ -1,0 +1,17 @@
+"""Benchmark result persistence.
+
+Rendered tables/figures are printed *and* written under
+``benchmarks/results/`` so they survive pytest's output capture and can
+be diffed against EXPERIMENTS.md.
+"""
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a rendered artefact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

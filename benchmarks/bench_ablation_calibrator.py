@@ -1,0 +1,93 @@
+"""Ablation — what the Calibrator buys (paper §V-C).
+
+The paper's claim: "For cases where certain programs exceeded the
+preset thresholds, adding Calibrator reduced latency, bringing it back
+under control."  On well-predicted stationary programs the calibrated
+and uncalibrated controllers coincide; the difference appears on
+*adversarial* programs whose behaviour swings faster than one epoch and
+wanders outside the training distribution.
+
+This bench builds such programs (sub-epoch phases, heavy jitter) and
+compares the controller with and without the Calibrator.
+"""
+
+import numpy as np
+
+from repro.gpu.kernels import KernelProfile
+from repro.gpu.phases import compute_phase, divergent_phase, memory_phase
+from repro.gpu.simulator import GPUSimulator
+from repro.core.controller import SSMDVFSController
+from repro.core.policy import StaticPolicy
+from repro.evaluation.reporting import format_table
+
+PRESET = 0.10
+
+
+def _adversarial_kernels():
+    """Fast-swinging, noisy programs (unseen during training)."""
+    kernels = []
+    for index, phases in enumerate([
+        [compute_phase("c", 30_000, warps=16), memory_phase("m", 25_000)],
+        [divergent_phase("d", 20_000, warps=20),
+         compute_phase("c", 28_000, warps=14)],
+        [memory_phase("m", 22_000, l1_miss=0.5),
+         compute_phase("c", 30_000, warps=12),
+         divergent_phase("d", 15_000)],
+    ]):
+        kernels.append(KernelProfile(
+            f"adv.swing{index}", phases, iterations=14, jitter=0.18))
+    return kernels
+
+
+def _run(policy, arch, kernel, seed):
+    simulator = GPUSimulator(arch, kernel, seed=seed)
+    return simulator.run(policy, keep_records=False)
+
+
+def test_calibrator_ablation(pipeline, arch, benchmark):
+    model = pipeline.model("base")
+    rows = []
+    lat_cal, lat_nocal, edp_cal, edp_nocal = [], [], [], []
+    for kernel in _adversarial_kernels():
+        base = _run(StaticPolicy(arch.vf_table.default_level), arch,
+                    kernel, seed=11)
+        cal = _run(SSMDVFSController(model, PRESET), arch, kernel, seed=11)
+        nocal = _run(SSMDVFSController(model, PRESET, use_calibrator=False),
+                     arch, kernel, seed=11)
+        lat_cal.append(cal.time_s / base.time_s)
+        lat_nocal.append(nocal.time_s / base.time_s)
+        edp_cal.append(cal.edp / base.edp)
+        edp_nocal.append(nocal.edp / base.edp)
+        rows.append([kernel.name, round(lat_nocal[-1], 3),
+                     round(lat_cal[-1], 3), round(edp_nocal[-1], 3),
+                     round(edp_cal[-1], 3)])
+    from _reporting import write_result
+    write_result("ablation_calibrator", format_table(
+        ["Kernel", "lat nocal", "lat cal", "EDP nocal", "EDP cal"], rows,
+        title=f"Calibrator ablation, preset {PRESET:.0%}"))
+
+    # The calibrated controller must not run later than the
+    # uncalibrated one on adversarial programs (its entire purpose),
+    # and must not wreck EDP doing so.
+    assert float(np.mean(lat_cal)) <= float(np.mean(lat_nocal)) + 0.005
+    assert float(np.mean(edp_cal)) <= float(np.mean(edp_nocal)) + 0.04
+    # And where the uncalibrated controller breaches the preset, the
+    # calibrated one must pull latency back toward it.
+    for violation_nocal, violation_cal in zip(lat_nocal, lat_cal):
+        if violation_nocal > 1.0 + PRESET + 0.02:
+            assert violation_cal < violation_nocal
+
+    # Benchmark: one calibration update (the per-epoch runtime cost the
+    # mechanism adds on top of the Decision-maker inference).
+    controller = SSMDVFSController(model, PRESET)
+    simulator = GPUSimulator(arch, _adversarial_kernels()[0], seed=1)
+    controller.reset(simulator)
+    record = simulator.step_epoch()
+    controller.decide(record)
+    pending = list(controller._pending)
+
+    def calibrate_once():
+        controller._pending = list(pending)
+        controller._calibrate(record)
+
+    benchmark(calibrate_once)

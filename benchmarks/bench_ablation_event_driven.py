@@ -1,0 +1,65 @@
+"""Ablation — event-driven inference (extension).
+
+§V-D budgets one MLP inference per 10 µs epoch per cluster.  The
+event-driven controller gates inference behind a cheap phase-change
+detector and holds the previous levels inside stationary phases.  This
+bench measures what the gating costs (EDP/latency deltas) and saves
+(fraction of inferences skipped) on the evaluation suite — where most
+kernels are phase-stationary, the detector should skip the majority of
+inferences at negligible quality cost.
+"""
+
+import numpy as np
+
+from repro.gpu.simulator import GPUSimulator
+from repro.core.controller import SSMDVFSController
+from repro.core.event_driven import EventDrivenController
+from repro.core.policy import StaticPolicy
+from repro.evaluation.reporting import format_table
+
+PRESET = 0.10
+
+
+def test_event_driven_ablation(pipeline, eval_kernels, arch, benchmark):
+    model = pipeline.model("pruned")
+    kernels = eval_kernels[:6]
+    rows = []
+    full_edps, event_edps, savings, lat_deltas = [], [], [], []
+    for kernel in kernels:
+        base = GPUSimulator(arch, kernel, seed=19).run(
+            StaticPolicy(arch.vf_table.default_level), keep_records=False)
+        full = GPUSimulator(arch, kernel, seed=19).run(
+            SSMDVFSController(model, PRESET), keep_records=False)
+        event_controller = EventDrivenController(model, PRESET)
+        event = GPUSimulator(arch, kernel, seed=19).run(
+            event_controller, keep_records=False)
+        full_edps.append(full.edp / base.edp)
+        event_edps.append(event.edp / base.edp)
+        savings.append(event_controller.inference_savings)
+        lat_deltas.append((event.time_s - full.time_s) / base.time_s)
+        rows.append([kernel.name, round(full_edps[-1], 3),
+                     round(event_edps[-1], 3),
+                     f"{savings[-1]:.0%}"])
+    from _reporting import write_result
+    write_result("ablation_event_driven", format_table(
+        ["Kernel", "EDP every-epoch", "EDP event-driven",
+         "inferences skipped"], rows,
+        title=f"Event-driven inference gating, preset {PRESET:.0%}"))
+
+    # Gating must skip a substantial share of inferences on the
+    # (mostly stationary) evaluation kernels...
+    assert float(np.mean(savings)) > 0.3
+    # ...at near-zero quality cost.
+    assert float(np.mean(event_edps)) < float(np.mean(full_edps)) + 0.02
+    assert float(np.mean(lat_deltas)) < 0.02
+
+    # Benchmark: one detector evaluation (the thing that replaces the
+    # MLP inference on held epochs).
+    controller = EventDrivenController(model, PRESET)
+    simulator = GPUSimulator(arch, kernels[0], seed=19)
+    controller.reset(simulator)
+    record = simulator.step_epoch()
+    controller.decide(record)
+    features = controller._features(record.cluster_counters[0])
+    detector = controller._detectors[0]
+    benchmark(lambda: detector.changed(features))

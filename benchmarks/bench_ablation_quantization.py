@@ -1,0 +1,72 @@
+"""Ablation — controller precision (ties into §V-D).
+
+The paper's ASIC module computes in FP32.  This bench quantizes the
+deployed model to 16- and 8-bit fixed point and re-runs a slice of the
+Fig. 4 evaluation: if 16-bit matches FP32 behaviour, the hardware could
+halve its SRAM and MAC width; the comparison quantifies the decision
+agreement at each precision.
+"""
+
+import numpy as np
+
+from repro.gpu.simulator import GPUSimulator
+from repro.core.controller import SSMDVFSController
+from repro.core.policy import StaticPolicy
+from repro.evaluation.reporting import format_table
+
+PRESET = 0.10
+
+
+def _run(policy, arch, kernel, seed=9):
+    simulator = GPUSimulator(arch, kernel, seed=seed)
+    return simulator.run(policy, keep_records=True)
+
+
+def test_quantization_ablation(pipeline, eval_kernels, arch, benchmark):
+    model_fp = pipeline.model("pruned")
+    variants = {
+        "fp64": model_fp,
+        "q16": model_fp.quantized(16),
+        "q8": model_fp.quantized(8),
+    }
+    kernels = eval_kernels[:4]
+
+    rows = []
+    edp = {name: [] for name in variants}
+    agreement = {name: [] for name in variants}
+    for kernel in kernels:
+        base = _run(StaticPolicy(arch.vf_table.default_level), arch, kernel)
+        reference_levels = None
+        for name, model in variants.items():
+            result = _run(SSMDVFSController(model, PRESET), arch, kernel)
+            edp[name].append(result.edp / base.edp)
+            levels = [lvl for record in result.records
+                      for lvl in record.levels]
+            if reference_levels is None:
+                reference_levels = levels
+                agreement[name].append(1.0)
+            else:
+                n = min(len(levels), len(reference_levels))
+                matches = sum(a == b for a, b in
+                              zip(levels[:n], reference_levels[:n]))
+                agreement[name].append(matches / n if n else 1.0)
+    for name in variants:
+        rows.append([name, round(float(np.mean(edp[name])), 4),
+                     round(float(np.mean(agreement[name])), 4)])
+    from _reporting import write_result
+    write_result("ablation_quantization", format_table(
+        ["Precision", "mean normalized EDP", "decision agreement"], rows,
+        title=f"Controller precision ablation, preset {PRESET:.0%}"))
+
+    by_name = {r[0]: r for r in rows}
+    # 16-bit fixed point must be behaviourally indistinguishable.
+    assert by_name["q16"][2] > 0.98
+    assert abs(by_name["q16"][1] - by_name["fp64"][1]) < 0.01
+    # 8-bit may drift, but must still save EDP and stay mostly aligned.
+    assert by_name["q8"][1] < 1.0
+    assert by_name["q8"][2] > 0.7
+
+    # Benchmark: one quantized-model decision inference.
+    q16 = variants["q16"]
+    x = np.zeros((1, q16.decision_model.input_size))
+    benchmark(lambda: q16.decision_model.predict_class(x))

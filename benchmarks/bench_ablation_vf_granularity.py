@@ -1,0 +1,57 @@
+"""Ablation — V/f table granularity (extension).
+
+The paper inherits a 6-point GTX Titan X operating table.  How much of
+the achievable saving does that quantisation leave on the table?  This
+bench resamples the V/f curve to 2-12 points and measures the oracle
+policy's EDP at each granularity: the marginal gain of more points
+quantifies whether the 6-point table (and hence the 6-way classifier)
+is the right size.
+"""
+
+import dataclasses
+
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.vf import interpolated_vf_table, titan_x_vf_table
+from repro.core.policy import ModelOraclePolicy, StaticPolicy
+from repro.evaluation.reporting import format_table
+
+PRESET = 0.10
+GRANULARITIES = (2, 3, 4, 6, 9, 12)
+
+
+def test_vf_granularity_ablation(arch, eval_kernels, benchmark):
+    kernels = eval_kernels[:5]
+    rows = []
+    mean_edps = {}
+    for num_levels in GRANULARITIES:
+        table = interpolated_vf_table(titan_x_vf_table(), num_levels)
+        test_arch = dataclasses.replace(arch, vf_table=table)
+        edps = []
+        for kernel in kernels:
+            base = GPUSimulator(test_arch, kernel, seed=41).run(
+                StaticPolicy(table.default_level), keep_records=False)
+            oracle = GPUSimulator(test_arch, kernel, seed=41).run(
+                ModelOraclePolicy(PRESET), keep_records=False)
+            edps.append(oracle.edp / base.edp)
+        mean_edps[num_levels] = sum(edps) / len(edps)
+        rows.append([num_levels, round(mean_edps[num_levels], 4)])
+    from _reporting import write_result
+    write_result("ablation_vf_granularity", format_table(
+        ["V/f points", "oracle normalized EDP"], rows,
+        title=f"Oracle EDP vs operating-point granularity, "
+              f"preset {PRESET:.0%}"))
+
+    # Two points (on/off) must be clearly worse than six; beyond six
+    # the marginal gain must be small (the paper's table is adequate).
+    assert mean_edps[2] > mean_edps[6] + 0.005
+    assert abs(mean_edps[12] - mean_edps[6]) < 0.02
+
+    # Benchmark: the oracle's per-epoch decision at the finest table.
+    table = interpolated_vf_table(titan_x_vf_table(), 12)
+    test_arch = dataclasses.replace(arch, vf_table=table)
+    simulator = GPUSimulator(test_arch, kernels[0].with_iterations(1000),
+                             seed=41)
+    policy = ModelOraclePolicy(PRESET)
+    policy.reset(simulator)
+    record = simulator.step_epoch()
+    benchmark(lambda: policy.decide(record))

@@ -1,0 +1,56 @@
+"""Fig. 4 — normalized EDP and latency for every DVFS mechanism at
+performance-loss presets of 10 % and 20 %.
+
+Regenerates the paper's headline evaluation: PCSTALL, F-LEMMA, SSMDVFS
+with and without the Calibrator, and the fully compressed SSMDVFS, over
+the ~300 us evaluation suite (>50 % of kernels unseen in training).
+
+Shape assertions (paper §V-C):
+* compressed SSMDVFS improves EDP vs the default-V/f baseline
+  (paper: 11.09 %),
+* SSMDVFS is at least competitive with PCSTALL (paper: +13.17 % — our
+  GPU surrogate's time-frequency curve is closer to PCSTALL's linear
+  model than real hardware, which shrinks the analytical model's
+  disadvantage; see EXPERIMENTS.md),
+* SSMDVFS clearly beats the RL baseline (paper: +36.80 %),
+* SSMDVFS and PCSTALL keep mean latency within the preset;
+  F-LEMMA's exploration violates it on short programs.
+"""
+
+from repro.evaluation.experiments import run_fig4
+from repro.core.controller import SSMDVFSController
+from repro.gpu.simulator import GPUSimulator
+
+
+def test_fig4_edp_latency(pipeline, eval_kernels, arch, benchmark):
+    result = run_fig4(
+        {"base": pipeline.models["base"],
+         "pruned": pipeline.models["pruned"]},
+        eval_kernels, arch, presets=(0.10, 0.20), seed=5)
+    from _reporting import write_result
+    write_result("fig4_edp_latency", result.render())
+
+    headline = result.headline("ssmdvfs-pruned")
+    # Direction and rough magnitude of the paper's aggregates.
+    assert headline["vs_baseline"] > 0.05        # paper: 0.1109
+    assert headline["vs_pcstall"] > -0.05        # paper: 0.1317
+    assert headline["vs_flemma"] > 0.04          # paper: 0.3680
+
+    for preset, comparison in result.comparisons.items():
+        slack = 1.0 + preset + 0.02
+        assert comparison.mean_normalized_latency("ssmdvfs-pruned") < slack
+        assert comparison.mean_normalized_latency("ssmdvfs") < slack
+        assert comparison.mean_normalized_latency("pcstall") < slack
+        # Every SSMDVFS variant must actually save EDP on average.
+        assert comparison.mean_normalized_edp("ssmdvfs-pruned") < 0.98
+        # The RL baseline must trail the supervised controller.
+        assert (comparison.mean_normalized_edp("ssmdvfs-pruned")
+                < comparison.mean_normalized_edp("flemma"))
+
+    # Benchmark: one online SSMDVFS decision step (counters -> levels),
+    # the operation that must fit inside a 10 us epoch.
+    controller = SSMDVFSController(pipeline.models["pruned"], preset=0.10)
+    simulator = GPUSimulator(arch, eval_kernels[0], seed=1)
+    controller.reset(simulator)
+    record = simulator.step_epoch()
+    benchmark(lambda: controller.decide(record))

@@ -1,0 +1,58 @@
+"""Substrate validation — interval model vs per-cycle detailed model.
+
+Not a paper artefact, but the credibility check behind every other
+bench: the fast interval model that drives all experiments must agree
+with a per-cycle SM/cache/memory simulation on the quantities DVFS
+decisions hinge on — instruction-rate sensitivity to frequency for
+compute- and memory-bound phases.
+"""
+
+from repro.gpu.detailed.sm import DetailedSM
+from repro.gpu.interval_model import solve_throughput
+from repro.gpu.phases import balanced_phase, compute_phase, memory_phase
+from repro.evaluation.reporting import format_table
+
+F_HI = 1165e6
+F_LO = 683e6
+WINDOW_CYCLES = 8000
+
+
+def _sensitivity_detailed(arch, phase, seed):
+    hi = DetailedSM(arch, phase, F_HI, seed=seed).run(WINDOW_CYCLES)
+    lo = DetailedSM(arch, phase, F_LO, seed=seed).run(WINDOW_CYCLES)
+    return (hi.ipc * F_HI) / (lo.ipc * F_LO)
+
+
+def _sensitivity_interval(arch, phase):
+    hi = solve_throughput(arch, phase, F_HI)
+    lo = solve_throughput(arch, phase, F_LO)
+    return (hi.ipc * F_HI) / (lo.ipc * F_LO)
+
+
+def test_model_agreement(arch, benchmark):
+    phases = [
+        ("compute", compute_phase("c", 10_000, warps=16)),
+        ("balanced", balanced_phase("b", 10_000, warps=40)),
+        ("memory", memory_phase("m", 10_000, warps=32)),
+    ]
+    rows = []
+    for name, phase in phases:
+        detailed = _sensitivity_detailed(arch, phase, seed=7)
+        interval = _sensitivity_interval(arch, phase)
+        rows.append([name, round(detailed, 3), round(interval, 3)])
+    from _reporting import write_result
+    write_result("model_agreement", format_table(
+        ["Phase", "detailed sensitivity", "interval sensitivity"], rows,
+        title="Instruction-rate sensitivity (f_max vs f_min), two models"))
+
+    by_name = {r[0]: r for r in rows}
+    # Ordering must agree: compute most sensitive, memory least.
+    assert by_name["compute"][1] > by_name["balanced"][1] > 0.95
+    assert by_name["compute"][1] > by_name["memory"][1]
+    # Compute clearly sensitive in both; memory clearly insensitive.
+    assert by_name["compute"][1] > 1.4 and by_name["compute"][2] > 1.4
+    assert by_name["memory"][1] < 1.3 and by_name["memory"][2] < 1.3
+
+    # Benchmark: one detailed-model window (the expensive side).
+    phase = phases[1][1]
+    benchmark(lambda: DetailedSM(arch, phase, F_HI, seed=1).run(2000))

@@ -1,0 +1,77 @@
+"""Robustness — counter noise and seed variance (extension).
+
+Real 10 µs counter windows are noisy; the paper evaluates a single
+simulator configuration.  This bench (a) injects multiplicative
+measurement noise into the counters each controller observes and
+tracks how EDP/latency degrade, and (b) sweeps simulator seeds to put
+an error bar on the Fig. 4 aggregates.
+"""
+
+import numpy as np
+
+from repro.baselines.pcstall import PCSTALLPolicy
+from repro.core.controller import SSMDVFSController
+from repro.core.policy import StaticPolicy
+from repro.evaluation.reporting import format_table
+from repro.evaluation.robustness import NoisyCountersPolicy, seed_sweep
+from repro.gpu.simulator import GPUSimulator
+
+PRESET = 0.10
+NOISE_LEVELS = (0.0, 0.05, 0.10, 0.20)
+
+
+def test_counter_noise_robustness(pipeline, eval_kernels, arch, benchmark):
+    model = pipeline.model("pruned")
+    kernels = eval_kernels[:4]
+    rows = []
+    summary = {}
+    for sigma in NOISE_LEVELS:
+        for name, factory in (
+            ("ssmdvfs", lambda s=sigma: NoisyCountersPolicy(
+                SSMDVFSController(model, PRESET), s, seed=21)),
+            ("pcstall", lambda s=sigma: NoisyCountersPolicy(
+                PCSTALLPolicy(PRESET), s, seed=21)),
+        ):
+            edps, lats = [], []
+            for kernel in kernels:
+                base = GPUSimulator(arch, kernel, seed=17).run(
+                    StaticPolicy(arch.vf_table.default_level),
+                    keep_records=False)
+                run = GPUSimulator(arch, kernel, seed=17).run(
+                    factory(), keep_records=False)
+                edps.append(run.edp / base.edp)
+                lats.append(run.time_s / base.time_s)
+            summary[(name, sigma)] = (float(np.mean(edps)),
+                                      float(np.mean(lats)))
+            rows.append([name, sigma, round(summary[(name, sigma)][0], 3),
+                         round(summary[(name, sigma)][1], 3)])
+    from _reporting import write_result
+    write_result("robustness_noise", format_table(
+        ["Policy", "counter noise", "mean EDP", "mean latency"], rows,
+        title=f"Counter-noise robustness, preset {PRESET:.0%}"))
+
+    for name in ("ssmdvfs", "pcstall"):
+        clean_edp, clean_lat = summary[(name, 0.0)]
+        noisy_edp, noisy_lat = summary[(name, 0.20)]
+        # Graceful degradation: bounded latency blow-up even at 20 %
+        # counter noise, and EDP still below (or near) baseline.
+        assert noisy_lat < 1.0 + 3 * PRESET
+        assert noisy_edp < 1.05
+        assert noisy_lat >= clean_lat - 0.05  # noise cannot *help* much
+
+    # Seed sweep: error bars on the aggregate (3 seeds x 4 kernels).
+    sweep = seed_sweep(
+        {"ssmdvfs": lambda: SSMDVFSController(model, PRESET),
+         "pcstall": lambda: PCSTALLPolicy(PRESET)},
+        kernels, arch, PRESET, seeds=[5, 6, 7])
+    write_result("robustness_seeds", sweep.render())
+    assert sweep.std_edp["ssmdvfs"] < 0.05  # aggregates are stable
+    assert sweep.mean_edp["ssmdvfs"] < 1.0
+
+    # Benchmark: one noisy-counter perturbation of a full record.
+    controller = NoisyCountersPolicy(
+        SSMDVFSController(model, PRESET), 0.1, seed=3)
+    simulator = GPUSimulator(arch, kernels[0], seed=3)
+    controller.reset(simulator)
+    record = simulator.step_epoch()
+    benchmark(lambda: controller._perturb(record.counters))

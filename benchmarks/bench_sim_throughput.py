@@ -1,0 +1,19 @@
+"""Simulator throughput — substrate speed, not a paper artefact.
+
+Times one 10 us DVFS epoch of the 24-cluster GTX Titan X simulator
+(interval model, all counters, power).  This bounds every other
+experiment's runtime: a Fig. 4 campaign simulates tens of thousands of
+these epochs.
+"""
+
+from repro.gpu.simulator import GPUSimulator
+from repro.workloads.suites import kernel_by_name
+
+
+def test_epoch_step_throughput(arch, benchmark):
+    kernel = kernel_by_name("rodinia.hotspot").with_iterations(10_000)
+    simulator = GPUSimulator(arch, kernel, seed=1)
+
+    record = benchmark(simulator.step_epoch)
+    assert record.instructions > 0
+    assert len(record.cluster_counters) == arch.num_clusters

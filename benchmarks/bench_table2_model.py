@@ -1,0 +1,39 @@
+"""Table II — final model information before vs after compression.
+
+Regenerates the paper's Table II: structures, FLOPs, accuracy and MAPE
+of the base 5+4x20 pair against the layer-wise-compressed + pruned
+pair (paper: 6960 -> 366 FLOPs, 69.82 -> 67.42 % accuracy,
+3.43 -> 4.61 % MAPE).
+"""
+
+import numpy as np
+
+from repro.evaluation.experiments import run_table2
+
+
+def test_table2_model_information(pipeline, benchmark):
+    result = run_table2(pipeline)
+    from _reporting import write_result
+    write_result("table2_model", result.render())
+
+    # Shape assertions mirroring the paper's Table II.
+    assert 5500 < result.flops_before < 9000        # paper: 6960
+    assert result.flops_after < result.flops_before / 4
+    assert result.compression_pct > 75.0            # paper: 94.74 %
+    # Quality must degrade only mildly under compression.
+    assert (result.pruned.accuracy_pct
+            > result.base.accuracy_pct - 12.0)      # paper: -2.4 pp
+    assert result.pruned.mape_pct < result.base.mape_pct + 8.0
+
+    # Benchmark: one decision epoch's worth of inference on the
+    # compressed pair (what the ASIC module executes every 10 us).
+    decision = result.pruned.decision
+    calibrator = result.pruned.calibrator
+    x_d = np.zeros((1, decision.input_size))
+    x_c = np.zeros((1, calibrator.input_size))
+
+    def per_epoch_inference():
+        decision.forward(x_d)
+        calibrator.forward(x_c)
+
+    benchmark(per_epoch_inference)

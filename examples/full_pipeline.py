@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper-scale end-to-end build (Fig. 2).
+
+Generates the training dataset over the Rodinia/Parboil/PolyBench-style
+training suite on the 24-cluster GTX Titan X configuration, runs RFE
+feature selection (Table I), trains the base 5+4x20 pair, the
+layer-wise-compressed 3+2x12 pair, and the pruned pair (Table II), and
+saves the deployable artefacts under ``artifacts/``.
+
+First run takes a few minutes (data generation); the dataset is cached
+under ``.cache/`` for subsequent runs.
+
+Usage::
+
+    python examples/full_pipeline.py [--fast]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.gpu import titan_x_config
+from repro.workloads import training_suite
+from repro.datagen import ProtocolConfig, cached_dataset
+from repro.nn.trainer import TrainConfig
+from repro.core import PipelineConfig, build_from_dataset
+from repro.evaluation import run_table1, run_table2
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="fewer breakpoints and epochs (smoke run)")
+    parser.add_argument("--cache", default=".cache",
+                        help="dataset cache directory")
+    parser.add_argument("--out", default="artifacts",
+                        help="output directory for model artefacts")
+    args = parser.parse_args()
+
+    arch = titan_x_config()
+    breakpoints = 4 if args.fast else 10
+    protocol = ProtocolConfig(max_breakpoints_per_kernel=breakpoints, seed=3)
+
+    print(f"1. data generation ({len(training_suite())} kernels, "
+          f"{breakpoints} breakpoints each; cached in {args.cache}/)...")
+    dataset = cached_dataset(args.cache, training_suite(), arch, protocol)
+    print(f"   {dataset.num_groups} breakpoints, "
+          f"{dataset.num_samples} samples")
+
+    print("2. feature selection (RFE, Table I)...")
+    table1 = run_table1(dataset, arch, seed=3)
+    print(table1.render())
+
+    print("3. training + compression + pruning (Table II)...")
+    config = PipelineConfig(
+        feature_names=table1.rfe.all_features,
+        train=TrainConfig(epochs=60 if args.fast else 250,
+                          patience=30, learning_rate=2e-3),
+        finetune=TrainConfig(epochs=30 if args.fast else 80,
+                             patience=15, learning_rate=5e-4),
+        seed=3,
+    )
+    pipeline = build_from_dataset(dataset, arch, config)
+    table2 = run_table2(pipeline)
+    print(table2.render())
+
+    out = Path(args.out)
+    for variant, model in pipeline.models.items():
+        model.save(out / variant)
+        print(f"   saved {variant} model -> {out / variant}")
+
+
+if __name__ == "__main__":
+    main()

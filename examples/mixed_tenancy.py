@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Heterogeneous multi-tenant GPU: where per-cluster DVFS pays off.
+
+Deals a memory-bound tenant and a compute-bound tenant across the
+clusters of a reduced GPU, then compares every chip-wide static
+operating point against per-cluster SSMDVFS.  No single static level
+can serve both tenants — the controller splits them (memory tenant at
+the bottom of the table, compute tenant near the top) and beats the
+best static EDP while honouring the latency preset.
+
+Usage::
+
+    python examples/mixed_tenancy.py
+"""
+
+from repro.gpu import GPUSimulator, small_test_config
+from repro.gpu.kernels import KernelProfile
+from repro.gpu.phases import compute_phase, memory_phase
+from repro.datagen import ProtocolConfig
+from repro.nn.trainer import TrainConfig
+from repro.core import (PipelineConfig, SSMDVFSController, StaticPolicy,
+                        build_ssmdvfs)
+
+PRESET = 0.10
+
+
+def main():
+    arch = small_test_config(num_clusters=2)
+    print("training a model (reduced setup)...")
+    pipeline = build_ssmdvfs(
+        arch,
+        [
+            KernelProfile("mt.compute",
+                          [compute_phase("c", 120_000, warps=20)],
+                          iterations=12, jitter=0.05),
+            KernelProfile("mt.memory",
+                          [memory_phase("m", 120_000, warps=48,
+                                        l1_miss=0.9, l2_miss=0.9)],
+                          iterations=12, jitter=0.05),
+        ],
+        PipelineConfig(
+            protocol=ProtocolConfig(max_breakpoints_per_kernel=4, seed=12),
+            feature_names=("power_per_core", "ipc", "stall_mem_hazard",
+                           "stall_mem_hazard_nonload", "l1_read_miss"),
+            train=TrainConfig(epochs=80, patience=12, learning_rate=3e-3),
+            seed=12,
+        ),
+        variants=("base",),
+    )
+    model = pipeline.model("base")
+
+    # Duration-balanced tenants (the memory tenant is bandwidth-capped,
+    # so it needs far fewer instructions for the same wall-clock).
+    tenants = [
+        KernelProfile("mt.mem-tenant",
+                      [memory_phase("m", 100_000, warps=48, l1_miss=0.9,
+                                    l2_miss=0.9)],
+                      iterations=2, jitter=0.06),
+        KernelProfile("mt.cmp-tenant",
+                      [compute_phase("c", 250_000, warps=20)],
+                      iterations=4, jitter=0.05),
+    ]
+
+    print(f"\n{'policy':14s} {'latency':>8s} {'energy':>8s} {'EDP':>8s}")
+    base = None
+    for level in range(arch.vf_table.num_levels):
+        simulator = GPUSimulator(arch, tenants, seed=9)
+        run = simulator.run(StaticPolicy(level), keep_records=False)
+        if level == arch.vf_table.default_level:
+            base = run
+    for level in range(arch.vf_table.num_levels):
+        simulator = GPUSimulator(arch, tenants, seed=9)
+        run = simulator.run(StaticPolicy(level), keep_records=False)
+        print(f"static-l{level:<6d} {run.time_s / base.time_s:8.3f} "
+              f"{run.energy_j / base.energy_j:8.3f} "
+              f"{run.edp / base.edp:8.3f}")
+
+    simulator = GPUSimulator(arch, tenants, seed=9)
+    controller = SSMDVFSController(model, PRESET)
+    run = simulator.run(controller, keep_records=True)
+    print(f"{'ssmdvfs':14s} {run.time_s / base.time_s:8.3f} "
+          f"{run.energy_j / base.energy_j:8.3f} {run.edp / base.edp:8.3f}")
+    steady = run.records[2:-2] or run.records
+    mem_mean = sum(r.levels[0] for r in steady) / len(steady)
+    cmp_mean = sum(r.levels[1] for r in steady) / len(steady)
+    print(f"\nssmdvfs split the tenants: memory cluster mean level "
+          f"{mem_mean:.2f}, compute cluster mean level {cmp_mean:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: train a small SSMDVFS model and drive a GPU kernel with it.
+
+Runs in about a minute on a laptop.  It uses a reduced 2-cluster GPU and
+a handful of synthetic kernels; see ``full_pipeline.py`` for the
+paper-scale build.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.gpu import GPUSimulator, small_test_config
+from repro.gpu.kernels import KernelProfile
+from repro.gpu.phases import balanced_phase, compute_phase, memory_phase
+from repro.datagen import ProtocolConfig
+from repro.nn.trainer import TrainConfig
+from repro.core import (PipelineConfig, SSMDVFSController, StaticPolicy,
+                        build_ssmdvfs)
+
+
+def training_kernels():
+    """Three small kernels spanning compute-bound to memory-bound."""
+    return [
+        KernelProfile("qs.compute", [compute_phase("c", 120_000, warps=20)],
+                      iterations=12, jitter=0.05),
+        KernelProfile("qs.memory",
+                      [memory_phase("m", 120_000, l1_miss=0.8, l2_miss=0.8)],
+                      iterations=12, jitter=0.05),
+        KernelProfile("qs.balanced", [balanced_phase("b", 120_000)],
+                      iterations=12, jitter=0.05),
+    ]
+
+
+def main():
+    arch = small_test_config(num_clusters=2)
+
+    print("1. building the SSMDVFS model (data generation + training)...")
+    pipeline = build_ssmdvfs(
+        arch,
+        training_kernels(),
+        PipelineConfig(
+            protocol=ProtocolConfig(max_breakpoints_per_kernel=4, seed=1),
+            feature_names=("power_per_core", "ipc", "stall_mem_hazard",
+                           "stall_mem_hazard_nonload", "l1_read_miss"),
+            train=TrainConfig(epochs=80, patience=12, learning_rate=3e-3),
+            seed=1,
+        ),
+        variants=("base",),
+    )
+    pair = pipeline.pairs["base"]
+    print(f"   decision accuracy {pair.accuracy_pct:.1f}%  "
+          f"calibrator MAPE {pair.mape_pct:.1f}%")
+
+    print("2. running an unseen mixed kernel under the controller...")
+    unseen = KernelProfile(
+        "qs.unseen",
+        [memory_phase("m", 150_000), compute_phase("c", 100_000, warps=24)],
+        iterations=4, jitter=0.06)
+
+    results = {}
+    for policy in (StaticPolicy(arch.vf_table.default_level),
+                   SSMDVFSController(pipeline.model("base"), preset=0.10)):
+        simulator = GPUSimulator(arch, unseen, seed=7)
+        results[policy.name] = simulator.run(policy, keep_records=False)
+
+    base = results["static-l5"]
+    ssm = results["ssmdvfs-p10"]
+    print(f"   baseline : {base.time_s * 1e6:7.1f} us, "
+          f"{base.energy_j * 1e3:6.2f} mJ")
+    print(f"   ssmdvfs  : {ssm.time_s * 1e6:7.1f} us, "
+          f"{ssm.energy_j * 1e3:6.2f} mJ")
+    print(f"   normalized EDP {ssm.edp / base.edp:.3f}  "
+          f"latency {ssm.time_s / base.time_s:.3f} (preset 10%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Demonstrates the self-calibration mechanism (paper Fig. 1, §III-C).
+
+Runs a phase-shifting kernel under the controller with and without the
+Calibrator and prints the per-epoch operating-point and working-preset
+traces, plus the end-to-end latency each achieves.  The calibrated run
+tightens its working preset whenever the measured instruction count
+falls short of the Calibrator's prediction, pulling latency back toward
+the user preset.
+
+Usage::
+
+    python examples/runtime_calibration.py
+"""
+
+from repro.gpu import GPUSimulator, small_test_config
+from repro.gpu.kernels import KernelProfile
+from repro.gpu.phases import compute_phase, divergent_phase, memory_phase
+from repro.datagen import ProtocolConfig
+from repro.nn.trainer import TrainConfig
+from repro.core import (PipelineConfig, SSMDVFSController, StaticPolicy,
+                        build_ssmdvfs)
+
+PRESET = 0.10
+
+
+def main():
+    arch = small_test_config(num_clusters=2)
+    print("training a model (reduced setup)...")
+    pipeline = build_ssmdvfs(
+        arch,
+        [
+            KernelProfile("cal.compute",
+                          [compute_phase("c", 120_000, warps=20)],
+                          iterations=12, jitter=0.05),
+            KernelProfile("cal.memory",
+                          [memory_phase("m", 120_000, l1_miss=0.8,
+                                        l2_miss=0.8)],
+                          iterations=12, jitter=0.05),
+            KernelProfile("cal.mixed",
+                          [compute_phase("c", 100_000, warps=24),
+                           memory_phase("m", 100_000)],
+                          iterations=8, jitter=0.08),
+        ],
+        PipelineConfig(
+            protocol=ProtocolConfig(max_breakpoints_per_kernel=4, seed=2),
+            feature_names=("power_per_core", "ipc", "stall_mem_hazard",
+                           "stall_mem_hazard_nonload", "l1_read_miss"),
+            train=TrainConfig(epochs=80, patience=12, learning_rate=3e-3),
+            seed=2,
+        ),
+        variants=("base",),
+    )
+    model = pipeline.model("base")
+
+    # A kernel that swings between behaviours: exactly where one-epoch-
+    # ahead prediction goes wrong and calibration earns its keep.
+    swinging = KernelProfile(
+        "cal.swing",
+        [compute_phase("c", 140_000, warps=20),
+         divergent_phase("d", 60_000, warps=20),
+         memory_phase("m", 120_000)],
+        iterations=4, jitter=0.10)
+
+    base = GPUSimulator(arch, swinging, seed=9).run(
+        StaticPolicy(arch.vf_table.default_level), keep_records=False)
+
+    for use_calibrator in (False, True):
+        controller = SSMDVFSController(model, preset=PRESET,
+                                       use_calibrator=use_calibrator)
+        simulator = GPUSimulator(arch, swinging, seed=9)
+        result = simulator.run(controller, keep_records=True)
+        latency = result.time_s / base.time_s
+        label = "with calibrator" if use_calibrator else "without calibrator"
+        print(f"\n--- {label}: normalized latency {latency:.3f} "
+              f"(preset {PRESET:.0%}), normalized EDP "
+              f"{result.edp / base.edp:.3f}")
+        levels = [r.levels[0] for r in result.records]
+        print("   levels : " + " ".join(str(l) for l in levels))
+        if use_calibrator:
+            print("   preset : " + " ".join(
+                f"{p:.2f}" for p in controller.preset_trace))
+
+
+if __name__ == "__main__":
+    main()

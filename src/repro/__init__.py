@@ -1,0 +1,22 @@
+"""SSMDVFS reproduction.
+
+A full Python reproduction of *SSMDVFS: Microsecond-Scale DVFS on
+GPGPUs with Supervised and Self-Calibrated ML* (DATE 2025), including
+the GPU/power simulation substrate, the supervised data-generation
+pipeline, the Decision-maker / Calibrator models, model compression and
+pruning, the PCSTALL and F-LEMMA comparators, the ASIC cost model, and
+the full evaluation harness.
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+from . import (baselines, core, datagen, evaluation, gpu, hardware,  # noqa: F401
+               nn, power, workloads)
+
+__all__ = [
+    "baselines", "core", "datagen", "evaluation", "gpu", "hardware", "nn",
+    "power", "workloads", "__version__",
+]

@@ -1,0 +1,63 @@
+"""Utilization-threshold ("ondemand"-style) governor baseline.
+
+The classic OS DVFS governor adapted to GPU clusters: raise the
+operating point when utilization is high, drop it when utilization is
+low, with hysteresis.  It knows nothing about memory-boundedness — the
+structural blindness that motivates counter-based policies like
+PCSTALL and SSMDVFS — so it serves as the naive-dynamic reference.
+"""
+
+from __future__ import annotations
+
+from ..errors import PolicyError
+from ..gpu.counters import CounterSet
+from ..gpu.simulator import EpochRecord, GPUSimulator
+from ..core.policy import BasePolicy
+
+
+class UtilizationGovernor(BasePolicy):
+    """Step levels up/down on issue-slot utilization thresholds."""
+
+    def __init__(self, up_threshold: float = 0.6,
+                 down_threshold: float = 0.3, step: int = 1) -> None:
+        super().__init__()
+        if not 0.0 < down_threshold < up_threshold <= 1.0:
+            raise PolicyError(
+                "need 0 < down_threshold < up_threshold <= 1"
+            )
+        if step < 1:
+            raise PolicyError("step must be >= 1")
+        self.up_threshold = float(up_threshold)
+        self.down_threshold = float(down_threshold)
+        self.step = int(step)
+        self.name = "governor"
+
+    def reset(self, simulator: GPUSimulator) -> None:
+        """Start every cluster at the default operating point."""
+        super().reset(simulator)
+        simulator.set_all_levels(simulator.arch.vf_table.default_level)
+
+    @staticmethod
+    def utilization(counters: CounterSet) -> float:
+        """Issued share of the epoch's issue slots."""
+        slots = counters["issue_slots"]
+        if slots <= 0:
+            return 0.0
+        return min(1.0, counters["inst_total"] / slots)
+
+    def decide(self, record: EpochRecord) -> list[int]:
+        """Step each cluster by utilization thresholds."""
+        if self.simulator is None:
+            raise PolicyError("policy not bound to a simulator")
+        table = self.simulator.arch.vf_table
+        levels = []
+        for current, counters in zip(record.levels,
+                                     record.cluster_counters):
+            utilization = self.utilization(counters)
+            if utilization >= self.up_threshold:
+                levels.append(table.clamp(current + self.step))
+            elif utilization <= self.down_threshold:
+                levels.append(table.clamp(current - self.step))
+            else:
+                levels.append(current)
+        return levels

@@ -1,0 +1,264 @@
+"""Command-line interface.
+
+Exposes the offline pipeline and the evaluation harness as subcommands::
+
+    repro-ssmdvfs suites                      # list modelled benchmarks
+    repro-ssmdvfs datagen  --cache .cache     # generate/caches the dataset
+    repro-ssmdvfs stats    --cache .cache     # dataset diagnostics
+    repro-ssmdvfs train    --cache .cache --out artifacts
+    repro-ssmdvfs evaluate --model artifacts/pruned --preset 0.10
+    repro-ssmdvfs hardware --model artifacts/pruned
+
+Every command is deterministic given ``--seed`` and runs fully offline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .datagen.cache import cached_dataset
+from .datagen.protocol import ProtocolConfig
+from .datagen.stats import analyze_dataset
+from .gpu.arch import small_test_config, titan_x_config
+from .nn.trainer import TrainConfig
+from .core.combined import SSMDVFSModel
+from .core.controller import SSMDVFSController
+from .core.pipeline import PipelineConfig, build_from_dataset
+from .evaluation.experiments import run_fig4, run_hardware, run_table1
+from .evaluation.export import export_fig4_json
+from .units import us
+from .workloads.suites import (evaluation_suite, full_suite,
+                               scale_kernel_to_duration, training_suite)
+
+#: Table I feature set used when ``--features paper`` is selected.
+PAPER_FEATURES = ("power_per_core", "ipc", "stall_mem_hazard",
+                  "stall_mem_hazard_nonload", "l1_read_miss")
+
+
+def _arch(args):
+    return small_test_config() if getattr(args, "small", False) \
+        else titan_x_config()
+
+
+def _protocol(args) -> ProtocolConfig:
+    return ProtocolConfig(max_breakpoints_per_kernel=args.breakpoints,
+                          seed=args.seed)
+
+
+def _dataset(args):
+    return cached_dataset(args.cache, training_suite(), _arch(args),
+                          _protocol(args))
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_experiments(args) -> int:
+    """List every reproducible paper artefact and extension."""
+    from .evaluation.registry import render_registry
+    print(render_registry(extensions=not args.paper_only))
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Assemble the markdown report from benchmark results."""
+    from .evaluation.report import write_report
+    path = write_report(args.results, args.out)
+    print(f"report written -> {path}")
+    return 0
+
+
+def cmd_suites(args) -> int:
+    """List the modelled benchmarks and the train/eval split."""
+    training = {k.name for k in training_suite()}
+    print(f"{'kernel':26s} {'suite':10s} {'phases':>6s} {'iters':>5s} "
+          f"{'insts/cluster':>13s}  role")
+    for kernel in full_suite():
+        role = "train" if kernel.name in training else "eval/unseen"
+        print(f"{kernel.name:26s} {kernel.suite:10s} "
+              f"{len(kernel.phases):6d} {kernel.iterations:5d} "
+              f"{kernel.total_instructions:13d}  {role}")
+    return 0
+
+
+def cmd_datagen(args) -> int:
+    """Generate (or load) the cached training dataset."""
+    dataset = _dataset(args)
+    print(f"dataset ready: {dataset.num_groups} breakpoints, "
+          f"{dataset.num_breakpoints} records, "
+          f"{dataset.num_samples} samples (cache: {args.cache})")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Print dataset diagnostics."""
+    report = analyze_dataset(_dataset(args), preset=args.preset)
+    print(report.render())
+    return 0
+
+
+def cmd_train(args) -> int:
+    """Run the offline build and save model artefacts."""
+    arch = _arch(args)
+    dataset = _dataset(args)
+    if args.features == "rfe":
+        table1 = run_table1(dataset, arch, seed=args.seed)
+        print(table1.render())
+        features = table1.rfe.all_features
+    else:
+        features = PAPER_FEATURES
+    config = PipelineConfig(
+        feature_names=features,
+        train=TrainConfig(epochs=args.epochs, patience=max(5, args.epochs // 8),
+                          learning_rate=2e-3, seed=args.seed),
+        seed=args.seed,
+    )
+    pipeline = build_from_dataset(dataset, arch, config)
+    out = Path(args.out)
+    for variant, model in pipeline.models.items():
+        model.save(out / variant)
+        meta = model.metadata
+        print(f"{variant:10s} acc={meta['accuracy_pct']:.1f}% "
+              f"mape={meta['mape_pct']:.2f}% "
+              f"flops={meta['flops_sparse']} -> {out / variant}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    """Run the Fig. 4 comparison with a saved model."""
+    arch = _arch(args)
+    model = SSMDVFSModel.load(args.model)
+    kernels = [scale_kernel_to_duration(k, arch, args.duration_us * 1e-6)
+               for k in evaluation_suite()[:args.kernels]]
+    result = run_fig4({"base": model}, kernels, arch,
+                      presets=tuple(args.preset), seed=args.seed)
+    print(result.render())
+    if args.export:
+        export_fig4_json(result, args.export)
+        print(f"exported -> {args.export}")
+    return 0
+
+
+def cmd_hardware(args) -> int:
+    """Print the §V-D ASIC cost report for a saved model."""
+    model = SSMDVFSModel.load(args.model)
+    result = run_hardware(model, epoch_s=us(10), gpu_tdp_w=250.0)
+    print(result.render())
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Drive one kernel with a saved model and print the outcome."""
+    from .gpu.simulator import GPUSimulator
+    from .core.policy import StaticPolicy
+    from .workloads.serialization import load_kernels
+    from .workloads.suites import kernel_by_name
+    arch = _arch(args)
+    model = SSMDVFSModel.load(args.model)
+    if args.kernel_file:
+        kernel = load_kernels(args.kernel_file)[0]
+    else:
+        kernel = kernel_by_name(args.kernel)
+    kernel = scale_kernel_to_duration(kernel, arch,
+                                      args.duration_us * 1e-6)
+    base = GPUSimulator(arch, kernel, seed=args.seed).run(
+        StaticPolicy(arch.vf_table.default_level), keep_records=False)
+    controller = SSMDVFSController(model, preset=args.preset[0])
+    run = GPUSimulator(arch, kernel, seed=args.seed).run(
+        controller, keep_records=False)
+    print(f"kernel {kernel.name}: baseline {base.time_s * 1e6:.1f} us / "
+          f"{base.energy_j * 1e3:.2f} mJ; ssmdvfs {run.time_s * 1e6:.1f} us "
+          f"/ {run.energy_j * 1e3:.2f} mJ; normalized EDP "
+          f"{run.edp / base.edp:.3f}, latency {run.time_s / base.time_s:.3f}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ssmdvfs",
+        description="SSMDVFS (DATE 2025) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, cache=True):
+        p.add_argument("--seed", type=int, default=3)
+        p.add_argument("--small", action="store_true",
+                       help="use the reduced 2-cluster test GPU")
+        if cache:
+            p.add_argument("--cache", default=".cache")
+            p.add_argument("--breakpoints", type=int, default=10)
+
+    p = sub.add_parser("suites", help="list modelled benchmarks")
+    p.set_defaults(func=cmd_suites)
+
+    p = sub.add_parser("experiments",
+                       help="list reproducible paper artefacts")
+    p.add_argument("--paper-only", action="store_true")
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("report",
+                       help="assemble REPORT.md from benchmark results")
+    p.add_argument("--results", default="benchmarks/results")
+    p.add_argument("--out", default="REPORT.md")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("datagen", help="generate/caches the dataset")
+    common(p)
+    p.set_defaults(func=cmd_datagen)
+
+    p = sub.add_parser("stats", help="dataset diagnostics")
+    common(p)
+    p.add_argument("--preset", type=float, default=0.10)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("train", help="offline build; saves artefacts")
+    common(p)
+    p.add_argument("--out", default="artifacts")
+    p.add_argument("--features", choices=("paper", "rfe"), default="paper")
+    p.add_argument("--epochs", type=int, default=250)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("evaluate", help="Fig. 4 comparison")
+    common(p, cache=False)
+    p.add_argument("--model", required=True)
+    p.add_argument("--kernels", type=int, default=14)
+    p.add_argument("--preset", type=float, nargs="+", default=[0.10])
+    p.add_argument("--duration-us", type=float, default=300.0)
+    p.add_argument("--export", default=None,
+                   help="write the result payload as JSON")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("hardware", help="ASIC cost report (Section V-D)")
+    common(p, cache=False)
+    p.add_argument("--model", required=True)
+    p.set_defaults(func=cmd_hardware)
+
+    p = sub.add_parser("run", help="drive one kernel with a saved model")
+    common(p, cache=False)
+    p.add_argument("--model", required=True)
+    p.add_argument("--kernel", default="rodinia.hotspot")
+    p.add_argument("--kernel-file", default=None,
+                   help="JSON kernel description (overrides --kernel)")
+    p.add_argument("--preset", type=float, nargs="+", default=[0.10])
+    p.add_argument("--duration-us", type=float, default=300.0)
+    p.set_defaults(func=cmd_run)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""The paper's contribution: SSMDVFS models, controller, and pipeline."""
+
+from .calibrator import Calibrator
+from .combined import SSMDVFSModel
+from .controller import SSMDVFSController
+from .decision_maker import DecisionMaker
+from .event_driven import EventDrivenController, PhaseChangeDetector
+from .pipeline import (VARIANTS, PipelineConfig, PipelineResult,
+                       build_from_dataset, build_ssmdvfs)
+from .policy import BasePolicy, ModelOraclePolicy, StaticPolicy
+
+__all__ = [
+    "Calibrator", "SSMDVFSModel", "SSMDVFSController", "DecisionMaker",
+    "EventDrivenController", "PhaseChangeDetector",
+    "VARIANTS", "PipelineConfig", "PipelineResult", "build_from_dataset",
+    "build_ssmdvfs",
+    "BasePolicy", "ModelOraclePolicy", "StaticPolicy",
+]

@@ -1,0 +1,55 @@
+"""Calibrator: the regression head of SSMDVFS (§II, §III).
+
+Given the Decision-maker's inputs plus its chosen level, the Calibrator
+predicts the instruction count of the *next* epoch.  At runtime the gap
+between this prediction and the count actually observed drives the
+working-preset adjustment that keeps end-to-end performance loss under
+the user's preset.
+
+The underlying regressor is trained on the *throughput ratio*
+(next-window count / current-window count), a scale-free target; this
+wrapper multiplies it back by the live instruction counter so callers
+see the absolute prediction of the paper's workflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datagen.features import FeatureExtractor, FeatureScaler
+from ..errors import PolicyError
+from ..gpu.counters import CounterSet
+from ..nn.mlp import MLP
+
+
+class Calibrator:
+    """Runtime wrapper around the trained regressor."""
+
+    def __init__(self, model: MLP, extractor: FeatureExtractor,
+                 scaler: FeatureScaler) -> None:
+        if model.output_size != 1:
+            raise PolicyError("calibrator must have a single output")
+        expected = extractor.width + 1  # features + chosen level
+        if model.input_size != expected:
+            raise PolicyError(
+                f"calibrator expects width {model.input_size}, feature set "
+                f"implies {expected}"
+            )
+        if not scaler.fitted:
+            raise PolicyError("scaler must be fitted")
+        self.model = model
+        self.extractor = extractor
+        self.scaler = scaler
+
+    def predict_ratio(self, counters: CounterSet, level: int) -> float:
+        """Predicted next-window / current-window throughput ratio."""
+        features = self.extractor.extract(counters)
+        raw = np.concatenate([features, [float(level)]])
+        x = self.scaler.transform(raw)
+        return max(0.0, float(self.model.predict_scalar(x[None, :])[0]))
+
+    def predict_instructions(self, counters: CounterSet,
+                             level: int) -> float:
+        """Predicted per-cluster instructions of the next epoch."""
+        ratio = self.predict_ratio(counters, level)
+        return ratio * counters["inst_total"]

@@ -1,0 +1,140 @@
+"""The deployable SSMDVFS model artefact.
+
+Bundles the Decision-maker and Calibrator networks with the feature
+definition and the fitted scalers — everything the runtime controller
+(or the ASIC cost model) needs — plus quality metadata, and round-trips
+through a directory of ``.npz``/JSON files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..datagen.features import FeatureExtractor, FeatureScaler
+from ..errors import ModelError
+from ..nn.flops import model_flops
+from ..nn.mlp import MLP
+from ..nn.serialize import load_model, save_model
+from .calibrator import Calibrator
+from .decision_maker import DecisionMaker
+
+
+@dataclass
+class SSMDVFSModel:
+    """A trained Decision-maker / Calibrator pair ready for deployment."""
+
+    decision_model: MLP
+    calibrator_model: MLP
+    feature_names: tuple[str, ...]
+    issue_width: float
+    num_levels: int
+    decision_scaler: FeatureScaler
+    calibrator_scaler: FeatureScaler
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Constructing the wrappers validates every shape contract.
+        extractor = FeatureExtractor(self.feature_names, self.issue_width)
+        self._decision = DecisionMaker(self.decision_model, extractor,
+                                       self.decision_scaler, self.num_levels)
+        self._calibrator = Calibrator(self.calibrator_model, extractor,
+                                      self.calibrator_scaler)
+
+    @property
+    def decision_maker(self) -> DecisionMaker:
+        """Classification head wrapper."""
+        return self._decision
+
+    @property
+    def calibrator(self) -> Calibrator:
+        """Regression head wrapper."""
+        return self._calibrator
+
+    @property
+    def flops_dense(self) -> int:
+        """Dense FLOPs per decision epoch."""
+        return (model_flops(self.decision_model)
+                + model_flops(self.calibrator_model))
+
+    @property
+    def flops_sparse(self) -> int:
+        """Sparse (post-pruning) FLOPs per decision epoch."""
+        return (model_flops(self.decision_model, sparse=True)
+                + model_flops(self.calibrator_model, sparse=True))
+
+    def quantized(self, total_bits: int = 16) -> "SSMDVFSModel":
+        """Fixed-point-quantized copy of this artefact.
+
+        The paper's ASIC computes in FP32 (§V-D); this produces the
+        fixed-point variant for the precision ablation.  Scalers and
+        feature definitions are shared (they are runtime-side).
+        """
+        from ..nn.quant import quantize_model
+        decision, decision_report = quantize_model(self.decision_model,
+                                                   total_bits)
+        calibrator, calib_report = quantize_model(self.calibrator_model,
+                                                  total_bits)
+        metadata = dict(self.metadata)
+        metadata.update({
+            "quantized_bits": total_bits,
+            "max_weight_error": max(decision_report.max_weight_error,
+                                    calib_report.max_weight_error),
+        })
+        return SSMDVFSModel(
+            decision_model=decision,
+            calibrator_model=calibrator,
+            feature_names=self.feature_names,
+            issue_width=self.issue_width,
+            num_levels=self.num_levels,
+            decision_scaler=self.decision_scaler,
+            calibrator_scaler=self.calibrator_scaler,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> None:
+        """Persist the full artefact into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_model(self.decision_model, directory / "decision.npz")
+        save_model(self.calibrator_model, directory / "calibrator.npz")
+        np.savez(directory / "scalers.npz",
+                 d_mean=self.decision_scaler.mean_,
+                 d_std=self.decision_scaler.std_,
+                 c_mean=self.calibrator_scaler.mean_,
+                 c_std=self.calibrator_scaler.std_)
+        meta = {
+            "feature_names": list(self.feature_names),
+            "issue_width": self.issue_width,
+            "num_levels": self.num_levels,
+            "metadata": self.metadata,
+        }
+        (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "SSMDVFSModel":
+        """Load an artefact saved with :meth:`save`."""
+        directory = Path(directory)
+        meta_path = directory / "meta.json"
+        if not meta_path.exists():
+            raise ModelError(f"no SSMDVFS model at {directory}")
+        meta = json.loads(meta_path.read_text())
+        with np.load(directory / "scalers.npz") as data:
+            decision_scaler = FeatureScaler.from_arrays(
+                {"mean": data["d_mean"], "std": data["d_std"]})
+            calibrator_scaler = FeatureScaler.from_arrays(
+                {"mean": data["c_mean"], "std": data["c_std"]})
+        return cls(
+            decision_model=load_model(directory / "decision.npz"),
+            calibrator_model=load_model(directory / "calibrator.npz"),
+            feature_names=tuple(meta["feature_names"]),
+            issue_width=float(meta["issue_width"]),
+            num_levels=int(meta["num_levels"]),
+            decision_scaler=decision_scaler,
+            calibrator_scaler=calibrator_scaler,
+            metadata=meta.get("metadata", {}),
+        )

@@ -1,0 +1,155 @@
+"""The SSMDVFS runtime controller (Fig. 1, §II).
+
+Every 10 µs epoch:
+
+1. **Calibrate** — compare the instruction count the Calibrator
+   predicted for the epoch that just ended with the count actually
+   observed.  The comparison is *cumulative* over the run: end-to-end
+   performance loss is a property of total progress, so a persistent
+   shortfall (prediction ahead of reality beyond a deadband) tightens
+   the *working* preset — pushing the Decision-maker towards faster
+   levels — while on-schedule progress relaxes it back toward the
+   user's preset.  Single-epoch prediction noise washes out of the
+   cumulative ratio instead of whipsawing the operating point.
+2. **Decide** — feed the epoch's counters plus the working preset into
+   the Decision-maker to get each cluster's next level.
+3. **Predict** — feed the same counters, the *original* preset and the
+   chosen level into the Calibrator to set up the next comparison.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import PolicyError
+from ..gpu.simulator import EpochRecord, GPUSimulator
+from .combined import SSMDVFSModel
+from .policy import BasePolicy
+
+
+class SSMDVFSController(BasePolicy):
+    """Self-calibrated supervised DVFS policy."""
+
+    def __init__(self, model: SSMDVFSModel, preset: float,
+                 use_calibrator: bool = True, gain: float = 1.0,
+                 relax: float = 0.4, deadband: float = 0.06,
+                 min_preset: float = 0.02,
+                 per_cluster: bool = True) -> None:
+        super().__init__()
+        if preset < 0:
+            raise PolicyError("preset cannot be negative")
+        if gain < 0 or not 0.0 <= relax <= 1.0:
+            raise PolicyError("gain must be >= 0 and relax in [0, 1]")
+        if deadband < 0:
+            raise PolicyError("deadband cannot be negative")
+        if min_preset < 0:
+            raise PolicyError("min_preset cannot be negative")
+        self.model = model
+        self.preset = float(preset)
+        self.use_calibrator = use_calibrator
+        self.gain = float(gain)
+        self.relax = float(relax)
+        self.deadband = float(deadband)
+        # The working preset never drops below the training grid's
+        # smallest preset: below that the Decision-maker would operate
+        # out of distribution.
+        self.min_preset = min(float(min_preset), float(preset))
+        self.per_cluster = per_cluster
+        tag = "" if use_calibrator else "-nocal"
+        self.name = f"ssmdvfs{tag}-p{int(round(preset * 100))}"
+        self.working_preset = self.preset
+        self._pending: list[tuple[int, float]] = []
+        self._cumulative_predicted = 0.0
+        self._cumulative_actual = 0.0
+        self._log_bias = 0.0
+        self.preset_trace: list[float] = []
+
+    #: Exponential decay of the cumulative comparison (a ~10-epoch
+    #: sliding window of shortfall).
+    CUMULATIVE_DECAY = 0.9
+    #: Adaptation rate of the multiplicative prediction-bias tracker.
+    BIAS_RATE = 0.25
+
+    def reset(self, simulator: GPUSimulator) -> None:
+        """Reset calibration state and start at the default point."""
+        super().reset(simulator)
+        self.working_preset = self.preset
+        self._pending = []
+        self._cumulative_predicted = 0.0
+        self._cumulative_actual = 0.0
+        self._log_bias = 0.0
+        self.preset_trace = []
+        simulator.set_all_levels(simulator.arch.vf_table.default_level)
+
+    # ------------------------------------------------------------------
+    def _calibrate(self, record: EpochRecord) -> None:
+        if not self.use_calibrator or not self._pending:
+            return
+        # Compare each prediction against the *same cluster's* observed
+        # count, skipping clusters that drained during the epoch — the
+        # end-of-kernel ramp-down is not a performance shortfall.
+        predicted_sum = 0.0
+        actual_sum = 0.0
+        for cluster_index, predicted in self._pending:
+            if (self.simulator is not None
+                    and self.simulator.clusters[cluster_index].finished):
+                continue
+            predicted_sum += predicted
+            actual_sum += record.cluster_counters[cluster_index]["inst_total"]
+        self._pending = []
+        if predicted_sum <= 0 or actual_sum <= 0:
+            return
+        # Self-calibration of the Calibrator itself: a slow multiplicative
+        # tracker absorbs its systematic prediction bias, so the preset
+        # feedback reacts to genuine shortfalls, not to a constant offset.
+        # A real slowdown still trips the deadband below before the bias
+        # tracker can absorb it (the preset then recovers the loss).
+        corrected = predicted_sum * math.exp(self._log_bias)
+        self._log_bias += self.BIAS_RATE * (
+            math.log(actual_sum / predicted_sum) - self._log_bias)
+        self._cumulative_predicted *= self.CUMULATIVE_DECAY
+        self._cumulative_actual *= self.CUMULATIVE_DECAY
+        self._cumulative_predicted += corrected
+        self._cumulative_actual += actual_sum
+        error = ((self._cumulative_predicted - self._cumulative_actual)
+                 / self._cumulative_predicted)
+        if error > self.deadband:
+            # Persistently slower than promised beyond the model's noise
+            # floor: tighten the working preset.
+            self.working_preset -= self.gain * error * self.preset
+        else:
+            # On/ahead of schedule: relax back toward the user preset.
+            self.working_preset += self.relax * (self.preset
+                                                 - self.working_preset)
+        self.working_preset = min(self.preset,
+                                  max(self.min_preset, self.working_preset))
+
+    def decide(self, record: EpochRecord):
+        """Calibrate, then pick each cluster's next operating point."""
+        if self.simulator is None:
+            raise PolicyError("policy not bound to a simulator")
+        self._calibrate(record)
+        self.preset_trace.append(self.working_preset)
+        decision_maker = self.model.decision_maker
+        calibrator = self.model.calibrator
+
+        if self.per_cluster:
+            levels = []
+            self._pending = []
+            for index, counters in enumerate(record.cluster_counters):
+                if counters["inst_total"] <= 0:
+                    # Cluster drained: park it at the slowest point.
+                    levels.append(self.simulator.arch.vf_table.min_level)
+                    continue
+                level = decision_maker.predict_level(counters,
+                                                     self.working_preset)
+                levels.append(level)
+                self._pending.append((index, calibrator.predict_instructions(
+                    counters, level)))
+            return levels
+
+        level = decision_maker.predict_level(record.counters,
+                                             self.working_preset)
+        self._pending = [(0, calibrator.predict_instructions(
+            record.counters, level))]
+        return level

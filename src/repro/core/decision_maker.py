@@ -1,0 +1,69 @@
+"""Decision-maker: the classification head of SSMDVFS (§II, §III).
+
+Given one epoch's performance counters and a performance-loss preset,
+it outputs the minimum V/f level expected to keep the loss within the
+preset.  The wrapper owns everything inference needs at runtime: the
+feature extractor (counter subset + normalisation), the fitted scaler,
+and the trained MLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datagen.features import FeatureExtractor, FeatureScaler
+from ..errors import PolicyError
+from ..gpu.counters import CounterSet
+from ..nn.mlp import MLP
+
+
+class DecisionMaker:
+    """Runtime wrapper around the trained classifier."""
+
+    def __init__(self, model: MLP, extractor: FeatureExtractor,
+                 scaler: FeatureScaler, num_levels: int) -> None:
+        if model.output_size != num_levels:
+            raise PolicyError(
+                f"classifier has {model.output_size} outputs, expected "
+                f"{num_levels} levels"
+            )
+        expected = extractor.width + 1  # features + loss preset
+        if model.input_size != expected:
+            raise PolicyError(
+                f"classifier expects width {model.input_size}, feature set "
+                f"implies {expected}"
+            )
+        if not scaler.fitted:
+            raise PolicyError("scaler must be fitted")
+        self.model = model
+        self.extractor = extractor
+        self.scaler = scaler
+        self.num_levels = num_levels
+
+    def _input_vector(self, counters: CounterSet, preset: float) -> np.ndarray:
+        features = self.extractor.extract(counters)
+        raw = np.concatenate([features, [preset]])
+        return self.scaler.transform(raw)
+
+    def predict_level(self, counters: CounterSet, preset: float) -> int:
+        """The V/f level for the next epoch."""
+        if preset < 0:
+            raise PolicyError("preset cannot be negative")
+        x = self._input_vector(counters, preset)
+        return int(self.model.predict_class(x[None, :])[0])
+
+    def predict_levels(self, counter_sets: list[CounterSet],
+                       preset: float) -> list[int]:
+        """Vectorised per-cluster prediction."""
+        if not counter_sets:
+            raise PolicyError("no counters given")
+        rows = np.stack([self._input_vector(c, preset)
+                         for c in counter_sets])
+        return [int(v) for v in self.model.predict_class(rows)]
+
+    def level_probabilities(self, counters: CounterSet,
+                            preset: float) -> np.ndarray:
+        """Softmax distribution over levels (diagnostics)."""
+        from ..nn.losses import softmax
+        x = self._input_vector(counters, preset)
+        return softmax(self.model.forward(x[None, :]))[0]

@@ -1,0 +1,155 @@
+"""End-to-end SSMDVFS build-up (paper Fig. 2).
+
+``build_ssmdvfs`` chains every offline stage:
+
+1. data generation over the training suite (§III-A),
+2. feature selection — RFE down to three indirect features plus the
+   direct power feature (§IV-A), or a user-fixed feature set,
+3. training the base 5+4x20 Decision-maker/Calibrator pair (§III-D),
+4. layer-wise-compressed 3+2x12 pair (§IV-B),
+5. two-stage pruning with fine-tuning (§IV-C),
+
+and packages each stage's pair as a deployable
+:class:`~repro.core.combined.SSMDVFSModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datagen.dataset import DVFSDataset, PreparedData
+from ..datagen.protocol import ProtocolConfig, generate_for_suite
+from ..datagen.rfe import RFEResult, RFESelector
+from ..errors import ModelError
+from ..gpu.arch import GPUArchConfig
+from ..gpu.kernels import KernelProfile
+from ..nn.compress import (PAPER_BASE_SPEC, PAPER_COMPRESSED_SPEC,
+                           PAPER_PRUNE_PARAMS, ArchitectureSpec, TrainedPair,
+                           prune_and_finetune, train_pair)
+from ..nn.trainer import TrainConfig
+from .combined import SSMDVFSModel
+
+#: Model variants the pipeline can produce.
+VARIANTS = ("base", "compressed", "pruned")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Configuration of the full offline build."""
+
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    feature_names: tuple[str, ...] | None = None  # None -> run RFE
+    base_spec: ArchitectureSpec = PAPER_BASE_SPEC
+    compressed_spec: ArchitectureSpec = PAPER_COMPRESSED_SPEC
+    prune_params: tuple[float, float] = PAPER_PRUNE_PARAMS
+    train: TrainConfig = field(default_factory=lambda: TrainConfig(
+        epochs=120, patience=15, learning_rate=2e-3))
+    finetune: TrainConfig = field(default_factory=lambda: TrainConfig(
+        epochs=40, patience=8, learning_rate=5e-4))
+    rfe_target: int = 3
+    test_fraction: float = 0.25
+    seed: int = 0
+
+
+@dataclass
+class PipelineResult:
+    """Everything the offline build produced."""
+
+    dataset: DVFSDataset
+    prepared: PreparedData
+    feature_names: tuple[str, ...]
+    rfe: RFEResult | None
+    pairs: dict[str, TrainedPair]
+    models: dict[str, SSMDVFSModel]
+
+    def model(self, variant: str = "pruned") -> SSMDVFSModel:
+        """Fetch a deployable model by variant name."""
+        if variant not in self.models:
+            raise ModelError(
+                f"variant {variant!r} not built; have {sorted(self.models)}"
+            )
+        return self.models[variant]
+
+
+def _package(pair: TrainedPair, prepared: PreparedData, arch: GPUArchConfig,
+             variant: str) -> SSMDVFSModel:
+    return SSMDVFSModel(
+        decision_model=pair.decision,
+        calibrator_model=pair.calibrator,
+        feature_names=prepared.feature_names,
+        issue_width=arch.issue_width,
+        num_levels=prepared.num_levels,
+        decision_scaler=prepared.decision_scaler,
+        calibrator_scaler=prepared.calibrator_scaler,
+        metadata={
+            "variant": variant,
+            "accuracy_pct": pair.accuracy_pct,
+            "mape_pct": pair.mape_pct,
+            "flops_dense": pair.flops_dense,
+            "flops_sparse": pair.flops_sparse,
+        },
+    )
+
+
+def build_from_dataset(dataset: DVFSDataset, arch: GPUArchConfig,
+                       config: PipelineConfig | None = None,
+                       variants: tuple[str, ...] = VARIANTS
+                       ) -> PipelineResult:
+    """Run stages 2-5 on an existing dataset (datagen is expensive)."""
+    config = config or PipelineConfig()
+    unknown = set(variants) - set(VARIANTS)
+    if unknown:
+        raise ModelError(f"unknown variants: {sorted(unknown)}")
+    if "pruned" in variants and "compressed" not in variants:
+        raise ModelError("the pruned variant builds on the compressed one")
+
+    rfe_result = None
+    if config.feature_names is None:
+        selector = RFESelector(dataset, arch.issue_width,
+                               target_count=config.rfe_target,
+                               seed=config.seed)
+        rfe_result = selector.run()
+        feature_names = rfe_result.all_features
+    else:
+        feature_names = tuple(config.feature_names)
+
+    prepared = dataset.prepare(feature_names, arch.issue_width,
+                               test_fraction=config.test_fraction,
+                               seed=config.seed)
+
+    pairs: dict[str, TrainedPair] = {}
+    models: dict[str, SSMDVFSModel] = {}
+    if "base" in variants:
+        pairs["base"] = train_pair(config.base_spec, prepared.decision,
+                                   prepared.calibrator, prepared.num_levels,
+                                   config.train, seed=config.seed)
+    if "compressed" in variants:
+        pairs["compressed"] = train_pair(
+            config.compressed_spec, prepared.decision, prepared.calibrator,
+            prepared.num_levels, config.train, seed=config.seed + 1)
+    if "pruned" in variants:
+        x1, x2 = config.prune_params
+        pairs["pruned"] = prune_and_finetune(
+            pairs["compressed"], x1, x2, prepared.decision,
+            prepared.calibrator, config.finetune)
+    for variant, pair in pairs.items():
+        models[variant] = _package(pair, prepared, arch, variant)
+
+    return PipelineResult(
+        dataset=dataset,
+        prepared=prepared,
+        feature_names=feature_names,
+        rfe=rfe_result,
+        pairs=pairs,
+        models=models,
+    )
+
+
+def build_ssmdvfs(arch: GPUArchConfig, kernels: list[KernelProfile],
+                  config: PipelineConfig | None = None,
+                  variants: tuple[str, ...] = VARIANTS) -> PipelineResult:
+    """The full offline build: data generation through pruned model."""
+    config = config or PipelineConfig()
+    breakpoints = generate_for_suite(kernels, arch, config=config.protocol)
+    dataset = DVFSDataset.from_breakpoints(breakpoints)
+    return build_from_dataset(dataset, arch, config, variants)

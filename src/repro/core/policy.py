@@ -1,0 +1,101 @@
+"""DVFS policy interface and reference policies.
+
+A policy observes the epoch record the simulator produces and returns
+the operating-point level(s) for the next epoch.  ``StaticPolicy`` is
+the paper's normalisation baseline (always the default point);
+``ModelOraclePolicy`` peeks at simulator internals to compute the
+per-phase optimal level — an upper bound no deployable policy can see.
+"""
+
+from __future__ import annotations
+
+from ..errors import PolicyError
+from ..gpu.interval_model import solve_throughput
+from ..gpu.simulator import EpochRecord, GPUSimulator
+
+
+class BasePolicy:
+    """Common plumbing for policies (name + simulator binding)."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.simulator: GPUSimulator | None = None
+
+    def reset(self, simulator: GPUSimulator) -> None:
+        """Bind to a simulator at the start of a run."""
+        self.simulator = simulator
+
+    def decide(self, record: EpochRecord):
+        """Return the level(s) for the next epoch."""
+        raise NotImplementedError
+
+
+class StaticPolicy(BasePolicy):
+    """Pin every cluster at one operating point.
+
+    ``StaticPolicy(default_level)`` is the baseline every Fig. 4 metric
+    is normalised against.
+    """
+
+    def __init__(self, level: int) -> None:
+        super().__init__()
+        self.level = int(level)
+        self.name = f"static-l{self.level}"
+
+    def reset(self, simulator: GPUSimulator) -> None:
+        """Validate the level and pin every cluster to it."""
+        super().reset(simulator)
+        if not 0 <= self.level < simulator.arch.vf_table.num_levels:
+            raise PolicyError(f"static level {self.level} out of range")
+        simulator.set_all_levels(self.level)
+
+    def decide(self, record: EpochRecord) -> int:
+        """Always the pinned level."""
+        return self.level
+
+
+class ModelOraclePolicy(BasePolicy):
+    """Phase-peeking oracle: min level whose *sustained* slowdown fits.
+
+    For each cluster it reads the current phase straight from the
+    simulator (which no real controller could) and evaluates the
+    noiseless interval model at every operating point, choosing the
+    slowest level whose slowdown relative to the default point stays
+    within the preset.  Useful as an upper bound and for sanity-checking
+    learned policies.
+    """
+
+    def __init__(self, preset: float) -> None:
+        super().__init__()
+        if preset < 0:
+            raise PolicyError("preset cannot be negative")
+        self.preset = float(preset)
+        self.name = f"oracle-p{int(round(preset * 100))}"
+
+    def decide(self, record: EpochRecord) -> list[int]:
+        """Per cluster: slowest level within the preset (phase-peeking)."""
+        if self.simulator is None:
+            raise PolicyError("policy not bound to a simulator")
+        arch = self.simulator.arch
+        table = arch.vf_table
+        default_freq = table[table.default_level].frequency_hz
+        levels = []
+        for cluster in self.simulator.clusters:
+            if cluster.finished:
+                levels.append(table.min_level)
+                continue
+            phase = cluster.cursor.current_phase
+            base = solve_throughput(arch, phase, default_freq)
+            base_time = base.time_for_instructions(1000.0)
+            chosen = table.default_level
+            for level in range(table.num_levels):
+                solution = solve_throughput(arch, phase,
+                                            table[level].frequency_hz)
+                slowdown = (solution.time_for_instructions(1000.0)
+                            / base_time) - 1.0
+                if slowdown <= self.preset:
+                    chosen = level
+                    break
+            levels.append(chosen)
+        return levels

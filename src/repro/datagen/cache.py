@@ -1,0 +1,54 @@
+"""Dataset caching.
+
+Data generation is the expensive offline stage (it simulates every
+training kernel seven times per breakpoint), so examples, tests and
+benchmarks share generated datasets through an on-disk cache keyed by
+the generation parameters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from ..gpu.arch import GPUArchConfig
+from ..gpu.kernels import KernelProfile
+from ..power.model import PowerModel
+from .dataset import DVFSDataset
+from .protocol import ProtocolConfig, generate_for_suite
+
+
+def dataset_cache_key(kernels: list[KernelProfile], arch: GPUArchConfig,
+                      config: ProtocolConfig) -> str:
+    """Stable fingerprint of a generation request."""
+    payload = json.dumps({
+        "kernels": sorted(k.name for k in kernels),
+        "iterations": {k.name: k.iterations for k in kernels},
+        "instructions": {k.name: k.total_instructions for k in kernels},
+        "arch": arch.name,
+        "clusters": arch.num_clusters,
+        "epoch_s": config.epoch_s,
+        "segment_epochs": config.segment_epochs,
+        "max_breakpoints": config.max_breakpoints_per_kernel,
+        "augment": config.augment_feature_levels,
+        "seed": config.seed,
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def cached_dataset(cache_dir: str | Path, kernels: list[KernelProfile],
+                   arch: GPUArchConfig,
+                   config: ProtocolConfig | None = None,
+                   power_model: PowerModel | None = None) -> DVFSDataset:
+    """Load the dataset from cache, generating (and caching) on miss."""
+    config = config or ProtocolConfig()
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"dvfs-{dataset_cache_key(kernels, arch, config)}.npz"
+    if path.exists():
+        return DVFSDataset.load(path)
+    breakpoints = generate_for_suite(kernels, arch, power_model, config)
+    dataset = DVFSDataset.from_breakpoints(breakpoints)
+    dataset.save(path)
+    return dataset

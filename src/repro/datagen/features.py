@@ -1,0 +1,155 @@
+"""Feature extraction from raw performance counters.
+
+Raw counters are per-epoch magnitudes whose scale depends on how long
+the epoch ran in cycles.  For learning we normalise count-like counters
+to *per-kilocycle* rates, leaving rates/fractions, latencies and power
+untouched — the same normalisation a hardware implementation would do
+with a shift, since epochs have a fixed cycle budget per frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..gpu.counters import COUNTER_SCHEMA, CounterSet
+
+#: Counters that are raw counts (normalised per kilocycle).
+_COUNT_COUNTERS = frozenset({
+    "inst_total", "inst_fp32", "inst_fp64", "inst_int", "inst_sfu",
+    "inst_load", "inst_store", "inst_shared", "inst_branch", "inst_sync",
+    "issue_slots", "stall_total", "stall_mem_hazard",
+    "stall_mem_hazard_load", "stall_mem_hazard_nonload", "stall_control",
+    "stall_sync", "stall_data", "stall_idle", "l1_read_access",
+    "l1_read_hit", "l1_read_miss", "l1_write_access", "l1_write_miss",
+    "l2_access", "l2_miss",
+})
+
+#: Counters measured in bytes (normalised per kilocycle as well).
+_BYTE_COUNTERS = frozenset({"dram_bytes"})
+
+#: Counters that are already rates / ratios / physical quantities.
+_PASSTHROUGH_COUNTERS = frozenset(COUNTER_SCHEMA) - _COUNT_COUNTERS - _BYTE_COUNTERS
+
+
+def epoch_cycles(counters: CounterSet, issue_width: float) -> float:
+    """Recover the epoch's core-cycle count from the issue-slot counter."""
+    if issue_width <= 0:
+        raise DatasetError("issue_width must be positive")
+    return counters["issue_slots"] / issue_width
+
+
+@dataclass(frozen=True)
+class FeatureExtractor:
+    """Maps a :class:`CounterSet` onto a normalised feature vector.
+
+    Parameters
+    ----------
+    names:
+        Counter names, in feature order.
+    issue_width:
+        The architecture's issue width (needed to recover cycles).
+    """
+
+    names: tuple[str, ...]
+    issue_width: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise DatasetError("feature extractor needs at least one counter")
+        unknown = set(self.names) - set(COUNTER_SCHEMA)
+        if unknown:
+            raise DatasetError(f"unknown counters: {sorted(unknown)}")
+        if self.issue_width <= 0:
+            raise DatasetError("issue_width must be positive")
+
+    @property
+    def width(self) -> int:
+        """Feature-vector width."""
+        return len(self.names)
+
+    def extract(self, counters: CounterSet) -> np.ndarray:
+        """Normalised feature vector for one epoch's counters."""
+        cycles = max(1.0, epoch_cycles(counters, self.issue_width))
+        kilocycles = cycles / 1000.0
+        values = np.empty(len(self.names), dtype=np.float64)
+        for index, name in enumerate(self.names):
+            raw = counters[name]
+            if name in _COUNT_COUNTERS or name in _BYTE_COUNTERS:
+                values[index] = raw / kilocycles
+            else:
+                values[index] = raw
+        return values
+
+    def extract_matrix(self, counter_sets: list[CounterSet]) -> np.ndarray:
+        """Stack feature vectors for many epochs into (n, width)."""
+        if not counter_sets:
+            raise DatasetError("no counter sets to extract")
+        return np.stack([self.extract(c) for c in counter_sets])
+
+
+class FeatureScaler:
+    """Z-score standardisation fitted on training data.
+
+    The runtime controller applies the same transform to live counters,
+    so the scaler is part of the deployed model artefact.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self.mean_ is not None
+
+    def fit(self, matrix: np.ndarray) -> "FeatureScaler":
+        """Fit means and stds column-wise; returns self."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise DatasetError("scaler needs a non-empty 2-D matrix")
+        self.mean_ = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        # Constant columns carry no signal; avoid division blow-ups.
+        self.std_ = np.where(std < 1e-12, 1.0, std)
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Standardise a matrix or a single row vector."""
+        if not self.fitted:
+            raise DatasetError("scaler used before fit")
+        matrix = np.asarray(matrix, dtype=np.float64)
+        single = matrix.ndim == 1
+        if single:
+            matrix = matrix[None, :]
+        if matrix.shape[1] != self.mean_.shape[0]:
+            raise DatasetError(
+                f"scaler fitted on width {self.mean_.shape[0]}, "
+                f"got {matrix.shape[1]}"
+            )
+        out = (matrix - self.mean_) / self.std_
+        return out[0] if single else out
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(matrix).transform(matrix)
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Serialise for checkpointing."""
+        if not self.fitted:
+            raise DatasetError("cannot serialise an unfitted scaler")
+        return {"mean": self.mean_, "std": self.std_}
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "FeatureScaler":
+        """Rebuild a scaler serialised with :meth:`to_arrays`."""
+        scaler = cls()
+        try:
+            scaler.mean_ = np.asarray(arrays["mean"], dtype=np.float64)
+            scaler.std_ = np.asarray(arrays["std"], dtype=np.float64)
+        except KeyError as exc:
+            raise DatasetError(f"missing scaler array: {exc}") from exc
+        return scaler

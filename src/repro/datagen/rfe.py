@@ -1,0 +1,149 @@
+"""Recursive Feature Elimination (paper §IV-A, Table I).
+
+The paper refines the 47 counters down to three indirect features (plus
+the always-kept direct power feature) with RFE, scoring features by the
+accuracy drop when their values are shuffled — i.e. permutation
+importance inside a recursive elimination loop.  We reproduce exactly
+that: each round trains a Decision-maker on the surviving features,
+permutes one candidate column of the test split at a time, and
+eliminates the least important quarter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..gpu.counters import INDIRECT_FEATURE_NAMES
+from ..nn.metrics import accuracy
+from ..nn.mlp import MLP
+from ..nn.trainer import TrainConfig, train_classifier
+from .dataset import DVFSDataset
+
+#: The direct (power) feature the paper always keeps: PPC.
+DEFAULT_ALWAYS_KEEP = ("power_per_core",)
+
+
+@dataclass
+class RFERound:
+    """One elimination round's record."""
+
+    features: tuple[str, ...]
+    test_accuracy: float
+    importances: dict[str, float]
+    eliminated: tuple[str, ...]
+
+
+@dataclass
+class RFEResult:
+    """Outcome of a full RFE run."""
+
+    selected: tuple[str, ...]
+    always_keep: tuple[str, ...]
+    rounds: list[RFERound] = field(default_factory=list)
+    full_accuracy: float = 0.0
+    selected_accuracy: float = 0.0
+
+    @property
+    def all_features(self) -> tuple[str, ...]:
+        """Deployment feature set: always-keep + selected indirect."""
+        return self.always_keep + self.selected
+
+    @property
+    def accuracy_drop_pct(self) -> float:
+        """Accuracy lost by the refinement, in percentage points."""
+        return (self.full_accuracy - self.selected_accuracy) * 100.0
+
+
+def _permutation_importance(model: MLP, x_test: np.ndarray,
+                            y_test: np.ndarray, column: int,
+                            rng: np.random.Generator,
+                            repeats: int = 3) -> float:
+    """Mean accuracy drop when ``column`` of the test set is shuffled."""
+    base = accuracy(model.predict_class(x_test), y_test)
+    drops = []
+    for _ in range(repeats):
+        shuffled = x_test.copy()
+        rng.shuffle(shuffled[:, column])
+        drops.append(base - accuracy(model.predict_class(shuffled), y_test))
+    return float(np.mean(drops))
+
+
+class RFESelector:
+    """Recursive feature elimination over the indirect counters."""
+
+    def __init__(self, dataset: DVFSDataset, issue_width: float,
+                 candidates: tuple[str, ...] = INDIRECT_FEATURE_NAMES,
+                 always_keep: tuple[str, ...] = DEFAULT_ALWAYS_KEEP,
+                 target_count: int = 3, drop_fraction: float = 0.25,
+                 hidden: tuple[int, ...] = (20, 20),
+                 train_config: TrainConfig | None = None,
+                 seed: int = 0) -> None:
+        if target_count < 1:
+            raise DatasetError("must select at least one feature")
+        if not 0.0 < drop_fraction < 1.0:
+            raise DatasetError("drop_fraction must be in (0, 1)")
+        overlap = set(candidates) & set(always_keep)
+        if overlap:
+            raise DatasetError(f"features both candidate and kept: {overlap}")
+        if len(candidates) < target_count:
+            raise DatasetError("fewer candidates than target count")
+        self.dataset = dataset
+        self.issue_width = issue_width
+        self.candidates = tuple(candidates)
+        self.always_keep = tuple(always_keep)
+        self.target_count = target_count
+        self.drop_fraction = drop_fraction
+        self.hidden = hidden
+        self.train_config = train_config or TrainConfig(
+            epochs=30, patience=6, learning_rate=3e-3, seed=seed)
+        self.seed = seed
+
+    def _train_and_score(self, features: tuple[str, ...], seed: int
+                         ) -> tuple[MLP, float, "np.ndarray", "np.ndarray"]:
+        names = self.always_keep + features
+        prepared = self.dataset.prepare(names, self.issue_width, seed=self.seed)
+        model = MLP([prepared.decision.x_train.shape[1], *self.hidden,
+                     prepared.num_levels], rng=np.random.default_rng(seed))
+        train_classifier(model, prepared.decision.x_train,
+                         prepared.decision.y_train, self.train_config)
+        acc = accuracy(model.predict_class(prepared.decision.x_test),
+                       prepared.decision.y_test)
+        return model, acc, prepared.decision.x_test, prepared.decision.y_test
+
+    def run(self) -> RFEResult:
+        """Execute the elimination loop; returns the full record."""
+        current = list(self.candidates)
+        result = RFEResult(selected=(), always_keep=self.always_keep)
+        rng = np.random.default_rng(self.seed)
+        round_index = 0
+        while True:
+            model, acc, x_test, y_test = self._train_and_score(
+                tuple(current), seed=self.seed + round_index)
+            if round_index == 0:
+                result.full_accuracy = acc
+            importances = {}
+            offset = len(self.always_keep)
+            for position, name in enumerate(current):
+                importances[name] = _permutation_importance(
+                    model, x_test, y_test, offset + position, rng)
+            if len(current) <= self.target_count:
+                result.rounds.append(RFERound(
+                    features=tuple(current), test_accuracy=acc,
+                    importances=importances, eliminated=()))
+                break
+            n_drop = max(1, int(len(current) * self.drop_fraction))
+            n_drop = min(n_drop, len(current) - self.target_count)
+            ranked = sorted(current, key=lambda n: importances[n])
+            eliminated = tuple(ranked[:n_drop])
+            result.rounds.append(RFERound(
+                features=tuple(current), test_accuracy=acc,
+                importances=importances, eliminated=eliminated))
+            current = [n for n in current if n not in eliminated]
+            round_index += 1
+
+        result.selected = tuple(current)
+        result.selected_accuracy = result.rounds[-1].test_accuracy
+        return result

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the SSMDVFS reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the library's failures without catching unrelated
+bugs.  Sub-classes are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An architecture, V/f, or model configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The GPU simulator was driven into an invalid state."""
+
+
+class SnapshotError(SimulationError):
+    """A snapshot/restore pair was used incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A kernel or benchmark description is malformed."""
+
+
+class ModelError(ReproError):
+    """A neural-network model is structurally invalid."""
+
+
+class TrainingError(ModelError):
+    """Training could not proceed (bad shapes, empty dataset, ...)."""
+
+
+class CompressionError(ModelError):
+    """Layer-wise compression or pruning produced an invalid model."""
+
+
+class DatasetError(ReproError):
+    """A dataset is empty, inconsistent, or incorrectly labelled."""
+
+
+class PolicyError(ReproError):
+    """A DVFS policy produced an out-of-range or malformed decision."""
+
+
+class HardwareModelError(ReproError):
+    """The ASIC cost model was given an unsupported configuration."""

@@ -1,0 +1,32 @@
+"""Evaluation harness: runners, experiment drivers, reporting."""
+
+from .experiments import (Fig3Result, Fig4Result, HardwareResult,
+                          Table1Result, Table2Result,
+                          build_pipeline_for_experiments,
+                          fig4_policy_factories, run_fig3, run_fig4,
+                          run_hardware, run_table1, run_table2)
+from .export import (export_comparison_csv, export_fig3_csv,
+                     export_fig4_json, load_fig4_json)
+from .registry import (ExperimentEntry, all_experiments, get_experiment,
+                       paper_experiments, render_registry)
+from .reporting import format_percent, format_series, format_table
+from .residency import ResidencyProfile, residency_from_records
+from .robustness import NoisyCountersPolicy, SeedSweepResult, seed_sweep
+from .runner import (ComparisonResult, PolicyRun, compare_policies,
+                     run_policy_on_kernel)
+
+__all__ = [
+    "Fig3Result", "Fig4Result", "HardwareResult", "Table1Result",
+    "Table2Result", "build_pipeline_for_experiments",
+    "fig4_policy_factories", "run_fig3", "run_fig4", "run_hardware",
+    "run_table1", "run_table2",
+    "export_comparison_csv", "export_fig3_csv", "export_fig4_json",
+    "load_fig4_json",
+    "ExperimentEntry", "all_experiments", "get_experiment",
+    "paper_experiments", "render_registry",
+    "format_percent", "format_series", "format_table",
+    "ResidencyProfile", "residency_from_records",
+    "NoisyCountersPolicy", "SeedSweepResult", "seed_sweep",
+    "ComparisonResult", "PolicyRun", "compare_policies",
+    "run_policy_on_kernel",
+]

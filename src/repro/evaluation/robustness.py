@@ -1,0 +1,130 @@
+"""Robustness studies: seed sweeps and counter measurement noise.
+
+Two analyses beyond the paper's single-configuration evaluation:
+
+* **Seed sweeps** — re-run a policy comparison across simulator seeds
+  and report mean +- std of the aggregate metrics, so "SSMDVFS beats X
+  by Y %" comes with an error bar.
+* **Counter noise** — real hardware counters sampled over 10 µs windows
+  are noisy.  :class:`NoisyCountersPolicy` wraps any policy and
+  perturbs every counter it observes with multiplicative Gaussian
+  noise, quantifying how gracefully each controller degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PolicyError, SimulationError
+from ..gpu.counters import COUNTER_NAMES, CounterSet
+from ..gpu.simulator import EpochRecord, GPUSimulator
+from ..gpu.kernels import KernelProfile
+from ..gpu.arch import GPUArchConfig
+from ..power.model import PowerModel
+from .runner import ComparisonResult, compare_policies
+
+
+class NoisyCountersPolicy:
+    """Wrap a policy; corrupt the counters it sees with relative noise."""
+
+    def __init__(self, inner, sigma: float, seed: int = 0) -> None:
+        if sigma < 0:
+            raise PolicyError("noise sigma cannot be negative")
+        self.inner = inner
+        self.sigma = float(sigma)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.name = f"{inner.name}+noise{sigma:g}"
+
+    def reset(self, simulator: GPUSimulator) -> None:
+        """Re-seed the noise stream and reset the wrapped policy."""
+        self._rng = np.random.default_rng(self.seed)
+        self.inner.reset(simulator)
+
+    def _perturb(self, counters: CounterSet) -> CounterSet:
+        if self.sigma == 0.0:
+            return counters
+        noisy = CounterSet()
+        factors = np.maximum(
+            0.0, 1.0 + self.sigma * self._rng.standard_normal(
+                len(COUNTER_NAMES)))
+        for name, factor in zip(COUNTER_NAMES, factors):
+            value = counters[name]
+            if value != 0.0:
+                noisy[name] = value * factor
+        return noisy
+
+    def decide(self, record: EpochRecord):
+        """Forward a counter-perturbed copy of the record."""
+        noisy_record = EpochRecord(
+            index=record.index,
+            start_time_s=record.start_time_s,
+            duration_s=record.duration_s,
+            levels=record.levels,
+            counters=self._perturb(record.counters),
+            cluster_counters=[self._perturb(c)
+                              for c in record.cluster_counters],
+            instructions=record.instructions,
+            cluster_energy_j=record.cluster_energy_j,
+            uncore_energy_j=record.uncore_energy_j,
+            all_finished=record.all_finished,
+            finish_time_s=record.finish_time_s,
+        )
+        return self.inner.decide(noisy_record)
+
+
+@dataclass
+class SeedSweepResult:
+    """Aggregate metrics across seeds, per policy."""
+
+    seeds: list[int]
+    mean_edp: dict[str, float] = field(default_factory=dict)
+    std_edp: dict[str, float] = field(default_factory=dict)
+    mean_latency: dict[str, float] = field(default_factory=dict)
+    std_latency: dict[str, float] = field(default_factory=dict)
+    comparisons: list[ComparisonResult] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Mean +- std table across seeds."""
+        from .reporting import format_table
+        rows = []
+        for policy in self.mean_edp:
+            rows.append([
+                policy,
+                f"{self.mean_edp[policy]:.3f} +- {self.std_edp[policy]:.3f}",
+                f"{self.mean_latency[policy]:.3f} +- "
+                f"{self.std_latency[policy]:.3f}",
+            ])
+        return format_table(["Policy", "EDP (mean +- std)",
+                             "latency (mean +- std)"], rows,
+                            title=f"Seed sweep over {self.seeds}")
+
+
+def seed_sweep(policy_factories: dict[str, callable],
+               kernels: list[KernelProfile], arch: GPUArchConfig,
+               preset: float, seeds: list[int],
+               power_model: PowerModel | None = None) -> SeedSweepResult:
+    """Run the comparison under several simulator seeds."""
+    if not seeds:
+        raise SimulationError("need at least one seed")
+    result = SeedSweepResult(seeds=list(seeds))
+    per_policy_edp: dict[str, list[float]] = {}
+    per_policy_lat: dict[str, list[float]] = {}
+    for seed in seeds:
+        comparison = compare_policies(policy_factories, kernels, arch,
+                                      preset, power_model, seed=seed)
+        result.comparisons.append(comparison)
+        for policy in comparison.policies():
+            per_policy_edp.setdefault(policy, []).append(
+                comparison.mean_normalized_edp(policy))
+            per_policy_lat.setdefault(policy, []).append(
+                comparison.mean_normalized_latency(policy))
+    for policy, values in per_policy_edp.items():
+        result.mean_edp[policy] = float(np.mean(values))
+        result.std_edp[policy] = float(np.std(values))
+    for policy, values in per_policy_lat.items():
+        result.mean_latency[policy] = float(np.mean(values))
+        result.std_latency[policy] = float(np.std(values))
+    return result

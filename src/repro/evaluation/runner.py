@@ -1,0 +1,140 @@
+"""Policy evaluation runner.
+
+Runs DVFS policies over evaluation kernels and reports the paper's
+metrics: normalized EDP and normalized latency against the
+default-operating-point baseline (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..gpu.arch import GPUArchConfig
+from ..gpu.kernels import KernelProfile
+from ..gpu.simulator import GPUSimulator
+from ..power.model import PowerModel
+from ..core.policy import StaticPolicy
+from ..units import us
+
+
+@dataclass
+class PolicyRun:
+    """One (policy, kernel) measurement."""
+
+    policy_name: str
+    kernel_name: str
+    time_s: float
+    energy_j: float
+    normalized_edp: float
+    normalized_latency: float
+    epochs: int
+
+    @property
+    def edp(self) -> float:
+        """Raw energy-delay product."""
+        return self.energy_j * self.time_s
+
+
+@dataclass
+class ComparisonResult:
+    """All (policy, kernel) runs of one evaluation campaign."""
+
+    preset: float
+    runs: list[PolicyRun] = field(default_factory=list)
+
+    def policies(self) -> list[str]:
+        """Policy names in first-seen order."""
+        seen: list[str] = []
+        for run in self.runs:
+            if run.policy_name not in seen:
+                seen.append(run.policy_name)
+        return seen
+
+    def kernels(self) -> list[str]:
+        """Kernel names in first-seen order."""
+        seen: list[str] = []
+        for run in self.runs:
+            if run.kernel_name not in seen:
+                seen.append(run.kernel_name)
+        return seen
+
+    def series(self, policy_name: str) -> list[PolicyRun]:
+        """All runs of one policy, kernel order preserved."""
+        return [r for r in self.runs if r.policy_name == policy_name]
+
+    def mean_normalized_edp(self, policy_name: str) -> float:
+        """Average normalized EDP of a policy (Fig. 4 bar average)."""
+        series = self.series(policy_name)
+        if not series:
+            raise SimulationError(f"no runs for policy {policy_name!r}")
+        return float(np.mean([r.normalized_edp for r in series]))
+
+    def mean_normalized_latency(self, policy_name: str) -> float:
+        """Average normalized latency of a policy."""
+        series = self.series(policy_name)
+        if not series:
+            raise SimulationError(f"no runs for policy {policy_name!r}")
+        return float(np.mean([r.normalized_latency for r in series]))
+
+    def edp_improvement_vs(self, policy_name: str,
+                           reference_name: str) -> float:
+        """Fractional mean-EDP improvement of ``policy`` vs ``reference``.
+
+        Positive = ``policy`` is better (lower EDP).  This is the
+        statistic behind the paper's headline percentages.
+        """
+        policy_edp = self.mean_normalized_edp(policy_name)
+        reference_edp = self.mean_normalized_edp(reference_name)
+        return 1.0 - policy_edp / reference_edp
+
+
+def run_policy_on_kernel(policy, kernel: KernelProfile, arch: GPUArchConfig,
+                         power_model: PowerModel | None = None,
+                         seed: int = 0,
+                         epoch_s: float = us(10)) -> tuple[float, float, int]:
+    """Run one policy over one kernel; returns (time, energy, epochs)."""
+    simulator = GPUSimulator(arch, kernel, power_model or PowerModel(),
+                             seed=seed, epoch_s=epoch_s)
+    result = simulator.run(policy, keep_records=False)
+    return result.time_s, result.energy_j, result.epochs
+
+
+def compare_policies(policy_factories: dict[str, callable],
+                     kernels: list[KernelProfile], arch: GPUArchConfig,
+                     preset: float,
+                     power_model: PowerModel | None = None,
+                     seed: int = 0,
+                     epoch_s: float = us(10)) -> ComparisonResult:
+    """Evaluate a set of policies over a kernel list.
+
+    ``policy_factories`` maps display names to zero-argument callables
+    producing a *fresh* policy (stateful policies like F-LEMMA must not
+    be reused across runs).  A default-level static baseline is always
+    run first for normalization.
+    """
+    power_model = power_model or PowerModel()
+    result = ComparisonResult(preset=preset)
+    for kernel in kernels:
+        base_time, base_energy, base_epochs = run_policy_on_kernel(
+            StaticPolicy(arch.vf_table.default_level), kernel, arch,
+            power_model, seed=seed, epoch_s=epoch_s)
+        base_edp = base_energy * base_time
+        result.runs.append(PolicyRun(
+            policy_name="baseline", kernel_name=kernel.name,
+            time_s=base_time, energy_j=base_energy,
+            normalized_edp=1.0, normalized_latency=1.0,
+            epochs=base_epochs))
+        for name, factory in policy_factories.items():
+            time_s, energy_j, epochs = run_policy_on_kernel(
+                factory(), kernel, arch, power_model, seed=seed,
+                epoch_s=epoch_s)
+            result.runs.append(PolicyRun(
+                policy_name=name, kernel_name=kernel.name,
+                time_s=time_s, energy_j=energy_j,
+                normalized_edp=(energy_j * time_s) / base_edp,
+                normalized_latency=time_s / base_time,
+                epochs=epochs))
+    return result

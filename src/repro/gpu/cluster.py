@@ -1,0 +1,324 @@
+"""Per-cluster execution engine.
+
+A :class:`ClusterState` advances one SM cluster through its kernel in
+variable-length *quanta*: within a quantum the workload position stays
+inside one phase segment and one noise chunk, so the interval model's
+stationarity assumption holds exactly.  The cluster accumulates an
+:class:`EpochActivity` record per DVFS epoch; the simulator turns that
+into performance counters and power numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from .arch import GPUArchConfig
+from .counters import CounterSet
+from .interval_model import ThroughputSolution, solve_throughput
+from .kernels import KernelCursor, KernelProfile
+from .noise import WorkloadNoise
+from .phases import INSTRUCTION_CLASSES
+
+
+@dataclass
+class EpochActivity:
+    """Aggregated microarchitectural activity of one cluster epoch."""
+
+    duration_s: float = 0.0
+    busy_s: float = 0.0
+    frequency_hz: float = 0.0
+    voltage_v: float = 0.0
+    cycles: float = 0.0
+    instructions: float = 0.0
+    inst_by_class: dict[str, float] = field(
+        default_factory=lambda: {cls: 0.0 for cls in INSTRUCTION_CLASSES})
+    issue_slots: float = 0.0
+    stall_mem_load: float = 0.0
+    stall_mem_other: float = 0.0
+    stall_control: float = 0.0
+    stall_sync: float = 0.0
+    stall_data: float = 0.0
+    stall_idle: float = 0.0
+    l1_read_access: float = 0.0
+    l1_read_miss: float = 0.0
+    l1_write_access: float = 0.0
+    l1_write_miss: float = 0.0
+    l2_access: float = 0.0
+    l2_miss: float = 0.0
+    dram_bytes: float = 0.0
+    warp_inst_weighted: float = 0.0
+    mem_latency_weighted: float = 0.0
+    bandwidth_util_time: float = 0.0
+    finished: bool = False
+
+    @property
+    def stall_mem(self) -> float:
+        """Total memory-hazard stall slots."""
+        return self.stall_mem_load + self.stall_mem_other
+
+    @property
+    def stall_total(self) -> float:
+        """All stall slots in the epoch."""
+        return (self.stall_mem_load + self.stall_mem_other + self.stall_control
+                + self.stall_sync + self.stall_data + self.stall_idle)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per core cycle over the epoch."""
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def avg_active_warps(self) -> float:
+        """Instruction-weighted mean of schedulable warps."""
+        if self.instructions <= 0:
+            return 0.0
+        return self.warp_inst_weighted / self.instructions
+
+    @property
+    def avg_mem_latency(self) -> float:
+        """Instruction-weighted mean memory latency (core cycles)."""
+        if self.instructions <= 0:
+            return 0.0
+        return self.mem_latency_weighted / self.instructions
+
+    @property
+    def avg_bandwidth_utilization(self) -> float:
+        """Busy-time-weighted DRAM bandwidth utilisation."""
+        if self.busy_s <= 0:
+            return 0.0
+        return self.bandwidth_util_time / self.busy_s
+
+
+class ClusterState:
+    """One independently clocked SM cluster executing a kernel."""
+
+    def __init__(self, arch: GPUArchConfig, kernel: KernelProfile,
+                 noise: WorkloadNoise, cluster_id: int = 0,
+                 skew_instructions: float = 0.0) -> None:
+        self.arch = arch
+        self.cluster_id = int(cluster_id)
+        self.cursor = KernelCursor(kernel, skew_instructions=skew_instructions)
+        self.noise = noise
+        self.level = arch.vf_table.default_level
+        self._pending_transition_s = 0.0
+
+    # ------------------------------------------------------------------
+    # DVFS control
+    # ------------------------------------------------------------------
+    def set_level(self, level: int) -> None:
+        """Switch the cluster to operating point ``level``.
+
+        Switching to a *different* level charges the IVR transition dead
+        time at the start of the next quantum.
+        """
+        clamped = self.arch.vf_table.clamp(level)
+        if clamped != level:
+            raise SimulationError(
+                f"V/f level {level} out of range for {self.arch.name}"
+            )
+        if clamped != self.level:
+            self._pending_transition_s += self.arch.dvfs_transition_ns * 1e-9
+        self.level = clamped
+
+    @property
+    def finished(self) -> bool:
+        """True once the cluster's kernel has fully executed."""
+        return self.cursor.finished
+
+    @property
+    def instructions_done(self) -> float:
+        """Instructions completed by this cluster since kernel start."""
+        return self.cursor.global_instructions_done
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _solve_current(self) -> ThroughputSolution:
+        phase = self.cursor.current_phase
+        chunk = self.noise.chunk_of(self.cursor.global_instructions_done)
+        warp_m, miss_m, cpi_m = self.noise.multipliers(chunk)
+        point = self.arch.vf_table[self.level]
+        return solve_throughput(
+            self.arch, phase, point.frequency_hz,
+            warp_multiplier=warp_m, miss_multiplier=miss_m,
+            cpi_multiplier=cpi_m,
+        )
+
+    def run_epoch(self, epoch_s: float) -> EpochActivity:
+        """Advance the cluster by ``epoch_s`` seconds of wall-clock time.
+
+        Returns the epoch's activity record.  A finished cluster idles:
+        time and cycles elapse, nothing executes.
+        """
+        if epoch_s <= 0:
+            raise SimulationError("epoch duration must be positive")
+        point = self.arch.vf_table[self.level]
+        activity = EpochActivity(
+            duration_s=epoch_s,
+            frequency_hz=point.frequency_hz,
+            voltage_v=point.voltage_v,
+        )
+
+        elapsed = 0.0
+        # IVR transition dead time: leakage burns, nothing issues.
+        if self._pending_transition_s > 0:
+            dead = min(self._pending_transition_s, epoch_s)
+            self._pending_transition_s -= dead
+            elapsed += dead
+            activity.cycles += dead * point.frequency_hz
+
+        while elapsed < epoch_s - 1e-15 and not self.cursor.finished:
+            solution = self._solve_current()
+            phase = self.cursor.current_phase
+            position = self.cursor.global_instructions_done
+            chunk = self.noise.chunk_of(position)
+            to_chunk_end = self.noise.chunk_end(chunk) - position
+            boundary = min(self.cursor.instructions_remaining_in_segment,
+                           to_chunk_end)
+            time_left = epoch_s - elapsed
+            time_to_boundary = solution.time_for_instructions(boundary)
+            if time_to_boundary <= time_left:
+                step_insts = boundary
+                step_time = time_to_boundary
+            else:
+                step_insts = solution.instructions_in_time(time_left)
+                step_time = time_left
+            if step_insts <= 0:
+                # Degenerate: throughput too low to make progress in the
+                # remaining slice; account for the idle tail and stop.
+                break
+            self.cursor.advance(step_insts)
+            elapsed += step_time
+            self._accumulate(activity, phase, solution, step_insts, step_time)
+
+        # Idle tail (kernel finished or no progress possible).
+        if elapsed < epoch_s:
+            idle = epoch_s - elapsed
+            activity.cycles += idle * point.frequency_hz
+
+        activity.finished = self.cursor.finished
+        return activity
+
+    def _accumulate(self, activity: EpochActivity, phase, solution,
+                    instructions: float, step_time: float) -> None:
+        arch = self.arch
+        activity.busy_s += step_time
+        activity.cycles += instructions * solution.cycles_per_instruction
+        activity.instructions += instructions
+        for cls, fraction in phase.mix.items():
+            activity.inst_by_class[cls] += instructions * fraction
+        activity.issue_slots += (instructions * solution.cycles_per_instruction
+                                 * arch.issue_width)
+        activity.stall_mem_load += instructions * solution.stall_mem_load
+        activity.stall_mem_other += instructions * solution.stall_mem_other
+        activity.stall_control += instructions * solution.stall_control
+        activity.stall_sync += instructions * solution.stall_sync
+        activity.stall_data += instructions * solution.stall_data
+        activity.stall_idle += instructions * solution.stall_idle
+
+        loads = instructions * phase.load_fraction
+        stores = instructions * phase.store_fraction
+        l1_read_miss = loads * phase.l1_miss_rate
+        l1_write_miss = stores * 0.9  # write-through-ish global stores
+        l2_access = l1_read_miss + l1_write_miss
+        l2_miss = l2_access * phase.l2_miss_rate
+        activity.l1_read_access += loads
+        activity.l1_read_miss += l1_read_miss
+        activity.l1_write_access += stores
+        activity.l1_write_miss += l1_write_miss
+        activity.l2_access += l2_access
+        activity.l2_miss += l2_miss
+        activity.dram_bytes += l2_miss * arch.cache_line_bytes
+
+        activity.warp_inst_weighted += instructions * phase.active_warps
+        activity.mem_latency_weighted += (instructions
+                                          * solution.mem_latency_cycles)
+        activity.bandwidth_util_time += (step_time
+                                         * solution.bandwidth_utilization)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the replayable state of this cluster."""
+        return {
+            "cursor": self.cursor.clone(),
+            "level": self.level,
+            "pending_transition_s": self._pending_transition_s,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot taken with :meth:`snapshot`."""
+        self.cursor = state["cursor"].clone()
+        self.level = state["level"]
+        self._pending_transition_s = state["pending_transition_s"]
+
+
+def build_counters(activity: EpochActivity, arch: GPUArchConfig) -> CounterSet:
+    """Turn an activity record into the 47-counter schema.
+
+    Power counters are filled separately by the simulator once the power
+    model has been evaluated for the epoch.
+    """
+    counters = CounterSet()
+    inst = activity.instructions
+    counters["inst_total"] = inst
+    counters["ipc"] = activity.ipc
+    counters["inst_fp32"] = activity.inst_by_class["fp32"]
+    counters["inst_fp64"] = activity.inst_by_class["fp64"]
+    counters["inst_int"] = activity.inst_by_class["int"]
+    counters["inst_sfu"] = activity.inst_by_class["sfu"]
+    counters["inst_load"] = activity.inst_by_class["load"]
+    counters["inst_store"] = activity.inst_by_class["store"]
+    counters["inst_shared"] = activity.inst_by_class["shared"]
+    counters["inst_branch"] = activity.inst_by_class["branch"]
+    counters["inst_sync"] = activity.inst_by_class["sync"]
+    if inst > 0:
+        counters["frac_fp32"] = activity.inst_by_class["fp32"] / inst
+        counters["frac_fp64"] = activity.inst_by_class["fp64"] / inst
+        counters["frac_mem"] = (activity.inst_by_class["load"]
+                                + activity.inst_by_class["store"]) / inst
+        counters["frac_branch"] = activity.inst_by_class["branch"] / inst
+        warps = max(1.0, activity.avg_active_warps)
+        counters["inst_per_warp"] = inst / warps
+    counters["issue_slots"] = activity.issue_slots
+
+    counters["stall_total"] = activity.stall_total
+    counters["stall_mem_hazard"] = activity.stall_mem
+    counters["stall_mem_hazard_load"] = activity.stall_mem_load
+    counters["stall_mem_hazard_nonload"] = activity.stall_mem_other
+    counters["stall_control"] = activity.stall_control
+    counters["stall_sync"] = activity.stall_sync
+    counters["stall_data"] = activity.stall_data
+    counters["stall_idle"] = activity.stall_idle
+    if activity.stall_total > 0:
+        counters["frac_stall_mem"] = activity.stall_mem / activity.stall_total
+        counters["frac_stall_control"] = (activity.stall_control
+                                          / activity.stall_total)
+    counters["avg_mem_latency"] = activity.avg_mem_latency
+    stalled_share = (activity.stall_total / activity.issue_slots
+                     if activity.issue_slots > 0 else 0.0)
+    counters["eligible_warps"] = activity.avg_active_warps * (1.0 - stalled_share)
+    if activity.issue_slots > 0:
+        counters["warp_issue_efficiency"] = inst / activity.issue_slots
+
+    counters["l1_read_access"] = activity.l1_read_access
+    counters["l1_read_miss"] = activity.l1_read_miss
+    counters["l1_read_hit"] = activity.l1_read_access - activity.l1_read_miss
+    if activity.l1_read_access > 0:
+        counters["l1_read_miss_rate"] = (activity.l1_read_miss
+                                         / activity.l1_read_access)
+    counters["l1_write_access"] = activity.l1_write_access
+    counters["l1_write_miss"] = activity.l1_write_miss
+    counters["l2_access"] = activity.l2_access
+    counters["l2_miss"] = activity.l2_miss
+    if activity.l2_access > 0:
+        counters["l2_miss_rate"] = activity.l2_miss / activity.l2_access
+    counters["dram_bytes"] = activity.dram_bytes
+
+    counters["active_warps"] = activity.avg_active_warps
+    counters["occupancy"] = (activity.avg_active_warps
+                             / arch.max_warps_per_cluster)
+    counters["bandwidth_utilization"] = activity.avg_bandwidth_utilization
+    return counters

@@ -1,0 +1,13 @@
+"""Per-cycle SM/cache/memory model for validating the interval model."""
+
+from .cache import SetAssociativeCache
+from .memsys import MemorySubsystem
+from .runner import (DetailedClusterRunner, DetailedRunResult,
+                     counters_from_detailed)
+from .sm import CLASS_LATENCY_CYCLES, DetailedResult, DetailedSM
+
+__all__ = [
+    "SetAssociativeCache", "MemorySubsystem",
+    "DetailedClusterRunner", "DetailedRunResult", "counters_from_detailed",
+    "CLASS_LATENCY_CYCLES", "DetailedResult", "DetailedSM",
+]

@@ -1,0 +1,48 @@
+"""Memory-subsystem timing for the detailed model.
+
+L2 and DRAM latencies are fixed in *nanoseconds* (memory clock domain);
+the SM converts them to core cycles at its current frequency.  DRAM
+bandwidth is enforced with a simple token-bucket: each serviced miss
+consumes a line's worth of bytes, and requests beyond the sustained
+rate are delayed — the queueing the interval model's bandwidth cap
+approximates analytically.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigError
+
+
+class MemorySubsystem:
+    """Latency + bandwidth model shared by one SM's memory requests."""
+
+    def __init__(self, l2_latency_ns: float, dram_latency_ns: float,
+                 bandwidth_bytes_per_s: float, line_bytes: int) -> None:
+        if min(l2_latency_ns, dram_latency_ns) < 0:
+            raise ConfigError("latencies cannot be negative")
+        if bandwidth_bytes_per_s <= 0 or line_bytes <= 0:
+            raise ConfigError("bandwidth and line size must be positive")
+        self.l2_latency_ns = l2_latency_ns
+        self.dram_latency_ns = dram_latency_ns
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        self.line_bytes = line_bytes
+        # Time (seconds) at which the DRAM channel next becomes free.
+        self._channel_free_s = 0.0
+        self.dram_bytes = 0
+
+    def l2_request_ready_s(self, now_s: float) -> float:
+        """Completion time of an L2 hit issued at ``now_s``."""
+        return now_s + self.l2_latency_ns * 1e-9
+
+    def dram_request_ready_s(self, now_s: float) -> float:
+        """Completion time of a DRAM access issued at ``now_s``.
+
+        Serialises on the bandwidth-limited channel: each line occupies
+        the channel for ``line_bytes / bandwidth`` seconds.
+        """
+        service_s = self.line_bytes / self.bandwidth_bytes_per_s
+        start_s = max(now_s, self._channel_free_s)
+        self._channel_free_s = start_s + service_s
+        self.dram_bytes += self.line_bytes
+        latency_s = (self.l2_latency_ns + self.dram_latency_ns) * 1e-9
+        return start_s + latency_s

@@ -1,0 +1,162 @@
+"""Kernel profiles.
+
+A :class:`KernelProfile` is a sequence of :class:`~repro.gpu.phases.Phase`
+objects repeated for a number of iterations — the iterative pattern
+typical of GPGPU benchmarks (and the one PCSTALL's prediction model is
+built on).  The profile is a *per-cluster* description; the simulator
+instantiates one execution cursor per cluster with slight deterministic
+skew so clusters are not artificially lock-stepped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import WorkloadError
+from .phases import Phase
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """A kernel as a repeated sequence of phases.
+
+    Attributes
+    ----------
+    name:
+        Benchmark-style kernel name, e.g. ``"rodinia.hotspot"``.
+    phases:
+        One iteration's phase sequence.
+    iterations:
+        How many times the phase sequence repeats.
+    suite:
+        Originating suite tag (``rodinia`` / ``parboil`` / ``polybench``
+        / ``synthetic``).
+    jitter:
+        Relative magnitude of the AR(1) behavioural noise applied at
+        simulation time (0 disables noise).
+    """
+
+    name: str
+    phases: tuple[Phase, ...]
+    iterations: int = 1
+    suite: str = "synthetic"
+    jitter: float = 0.08
+
+    def __init__(self, name: str, phases, iterations: int = 1,
+                 suite: str = "synthetic", jitter: float = 0.08) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "phases", tuple(phases))
+        object.__setattr__(self, "iterations", int(iterations))
+        object.__setattr__(self, "suite", suite)
+        object.__setattr__(self, "jitter", float(jitter))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.phases:
+            raise WorkloadError(f"kernel {self.name!r} has no phases")
+        if self.iterations < 1:
+            raise WorkloadError(f"kernel {self.name!r}: iterations must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise WorkloadError(f"kernel {self.name!r}: jitter out of [0,1]")
+
+    @property
+    def num_segments(self) -> int:
+        """Total number of phase segments across all iterations."""
+        return len(self.phases) * self.iterations
+
+    @property
+    def total_instructions(self) -> int:
+        """Warp-instructions per cluster for the whole kernel."""
+        per_iteration = sum(p.instructions for p in self.phases)
+        return per_iteration * self.iterations
+
+    def segment(self, index: int) -> Phase:
+        """Phase of the ``index``-th segment (segments wrap per iteration)."""
+        if not 0 <= index < self.num_segments:
+            raise WorkloadError(
+                f"kernel {self.name!r}: segment {index} out of range"
+            )
+        return self.phases[index % len(self.phases)]
+
+    def with_iterations(self, iterations: int) -> "KernelProfile":
+        """Copy of this kernel with a different iteration count."""
+        return KernelProfile(self.name, self.phases, iterations,
+                             self.suite, self.jitter)
+
+
+@dataclass
+class KernelCursor:
+    """Execution position inside a kernel (per cluster).
+
+    Tracks the current segment and how many of its instructions have
+    completed.  The cursor is intentionally tiny so the simulator can
+    snapshot and restore it cheaply during data generation.
+    """
+
+    kernel: KernelProfile
+    segment_index: int = 0
+    instructions_done: float = 0.0
+    skew_instructions: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.skew_instructions:
+            # Deterministic per-cluster skew: advance the cursor by a
+            # fraction of the first segment so clusters de-synchronise.
+            self.advance(self.skew_instructions)
+
+    @property
+    def finished(self) -> bool:
+        """True once every segment has fully executed."""
+        return self.segment_index >= self.kernel.num_segments
+
+    @property
+    def current_phase(self) -> Phase:
+        """Phase being executed at the cursor position."""
+        if self.finished:
+            raise WorkloadError(f"kernel {self.kernel.name!r} already finished")
+        return self.kernel.segment(self.segment_index)
+
+    @property
+    def instructions_remaining_in_segment(self) -> float:
+        """Instructions left in the current segment."""
+        if self.finished:
+            return 0.0
+        return self.current_phase.instructions - self.instructions_done
+
+    @property
+    def global_instructions_done(self) -> float:
+        """Instructions completed since the start of the kernel."""
+        done = 0.0
+        for index in range(min(self.segment_index, self.kernel.num_segments)):
+            done += self.kernel.segment(index).instructions
+        return done + self.instructions_done
+
+    def advance(self, instructions: float) -> float:
+        """Consume up to ``instructions``; returns the amount consumed.
+
+        Advancing across segment boundaries is handled; advancing a
+        finished cursor consumes nothing.
+        """
+        if instructions < 0:
+            raise WorkloadError("cannot advance a cursor by a negative amount")
+        consumed = 0.0
+        remaining = instructions
+        while remaining > 0 and not self.finished:
+            in_segment = self.instructions_remaining_in_segment
+            step = min(remaining, in_segment)
+            self.instructions_done += step
+            consumed += step
+            remaining -= step
+            if self.instructions_done >= self.current_phase.instructions - 1e-9:
+                self.segment_index += 1
+                self.instructions_done = 0.0
+        return consumed
+
+    def clone(self) -> "KernelCursor":
+        """Cheap deep copy for snapshot/restore."""
+        copy = KernelCursor.__new__(KernelCursor)
+        copy.kernel = self.kernel
+        copy.segment_index = self.segment_index
+        copy.instructions_done = self.instructions_done
+        copy.skew_instructions = self.skew_instructions
+        return copy

@@ -1,0 +1,128 @@
+"""Behavioural noise for the interval model.
+
+Real kernels do not execute with perfectly stationary statistics inside
+a phase: occupancy ripples, miss rates wander with the working set, and
+the scheduler's instantaneous mix fluctuates.  We model this with a
+multiplicative AR(1) (Ornstein–Uhlenbeck-like) process per perturbed
+quantity.  The process is mean-one, mean-reverting, clipped away from
+zero, and fully determined by its RNG stream, so simulations replay
+bit-identically from a snapshot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class AR1Jitter:
+    """Mean-one multiplicative AR(1) noise.
+
+    ``x[t] = 1 + rho * (x[t-1] - 1) + sigma * eps``, clipped to
+    ``[1 - clip, 1 + clip]``.
+
+    Parameters
+    ----------
+    rng:
+        Source generator (its state is part of simulator snapshots).
+    sigma:
+        Innovation standard deviation; 0 produces the constant 1.
+    rho:
+        Mean-reversion coefficient in [0, 1).
+    clip:
+        Hard clip half-width; keeps multipliers physically plausible.
+    """
+
+    def __init__(self, rng: np.random.Generator, sigma: float,
+                 rho: float = 0.85, clip: float = 0.5) -> None:
+        if sigma < 0:
+            raise SimulationError("jitter sigma cannot be negative")
+        if not 0.0 <= rho < 1.0:
+            raise SimulationError("jitter rho must be in [0, 1)")
+        if not 0.0 < clip < 1.0:
+            raise SimulationError("jitter clip must be in (0, 1)")
+        self._rng = rng
+        self.sigma = float(sigma)
+        self.rho = float(rho)
+        self.clip = float(clip)
+        self.value = 1.0
+
+    def step(self) -> float:
+        """Advance one quantum and return the current multiplier."""
+        if self.sigma == 0.0:
+            return 1.0
+        innovation = self.sigma * float(self._rng.standard_normal())
+        self.value = 1.0 + self.rho * (self.value - 1.0) + innovation
+        low, high = 1.0 - self.clip, 1.0 + self.clip
+        self.value = min(high, max(low, self.value))
+        return self.value
+
+    def state(self) -> tuple[float, dict]:
+        """Snapshot: current value and the RNG bit-generator state."""
+        return self.value, self._rng.bit_generator.state
+
+    def restore(self, state: tuple[float, dict]) -> None:
+        """Restore a snapshot taken with :meth:`state`."""
+        self.value, rng_state = state
+        self._rng.bit_generator.state = rng_state
+
+
+class WorkloadNoise:
+    """Workload-position-indexed behavioural noise.
+
+    Data generation replays the *same* stretch of a kernel at several
+    operating points; for the measured performance losses to be clean
+    labels, the workload's behavioural wobble must be attached to the
+    *instruction position*, not to wall-clock time.  This class exposes
+    AR(1) multiplier triples ``(warps, miss, cpi)`` indexed by workload
+    chunk: chunk ``k`` covers instructions ``[k*chunk, (k+1)*chunk)``.
+    Values are generated lazily but deterministically from the RNG
+    stream, so any replay — at any frequency, from any snapshot — sees
+    identical multipliers at identical workload positions.
+    """
+
+    #: Instructions covered by one noise chunk.
+    DEFAULT_CHUNK = 2048
+
+    def __init__(self, rng: np.random.Generator, sigma: float,
+                 rho: float = 0.85, clip: float = 0.45,
+                 chunk_instructions: int = DEFAULT_CHUNK) -> None:
+        if sigma < 0:
+            raise SimulationError("noise sigma cannot be negative")
+        if chunk_instructions <= 0:
+            raise SimulationError("chunk_instructions must be positive")
+        self._rng = rng
+        self.sigma = float(sigma)
+        self.rho = float(rho)
+        self.clip = float(clip)
+        self.chunk_instructions = int(chunk_instructions)
+        # Three independent AR(1) tracks, grown lazily and never mutated.
+        self._tracks: list[list[float]] = [[], [], []]
+
+    def chunk_of(self, instruction_index: float) -> int:
+        """Chunk index covering the given global instruction position."""
+        return int(instruction_index // self.chunk_instructions)
+
+    def chunk_end(self, chunk: int) -> float:
+        """First instruction index after ``chunk``."""
+        return float((chunk + 1) * self.chunk_instructions)
+
+    def _extend_to(self, chunk: int) -> None:
+        while len(self._tracks[0]) <= chunk:
+            for track in self._tracks:
+                previous = track[-1] if track else 1.0
+                innovation = self.sigma * float(self._rng.standard_normal())
+                value = 1.0 + self.rho * (previous - 1.0) + innovation
+                low, high = 1.0 - self.clip, 1.0 + self.clip
+                track.append(min(high, max(low, value)))
+
+    def multipliers(self, chunk: int) -> tuple[float, float, float]:
+        """Return ``(warp, miss, cpi)`` multipliers for ``chunk``."""
+        if chunk < 0:
+            raise SimulationError("chunk index cannot be negative")
+        if self.sigma == 0.0:
+            return (1.0, 1.0, 1.0)
+        self._extend_to(chunk)
+        return (self._tracks[0][chunk], self._tracks[1][chunk],
+                self._tracks[2][chunk])

@@ -1,0 +1,333 @@
+"""Top-level GPU simulator.
+
+Ties the per-cluster execution engine, the power model, and a DVFS
+policy together into the 10 µs epoch loop of the paper:
+
+1. every cluster runs one epoch at its current operating point,
+2. counters and power are produced per cluster,
+3. the policy observes the epoch record and returns the next operating
+   point per cluster (or one level broadcast to all).
+
+The simulator also provides the snapshot/restore and
+run-until-instruction-mark primitives that the data-generation protocol
+(§III-A) needs to replay the same 100 µs segment at each V/f point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from ..errors import SimulationError, SnapshotError
+from ..power.energy import EnergyAccount
+from ..power.model import PowerModel
+from ..rng import StreamFactory
+from ..units import us
+from .arch import GPUArchConfig
+from .cluster import ClusterState, EpochActivity, build_counters
+from .counters import CounterSet
+from .kernels import KernelProfile
+from .noise import WorkloadNoise
+
+#: Default DVFS epoch length: the paper's 10 µs resolution.
+DEFAULT_EPOCH_S = us(10.0)
+
+
+@dataclass
+class EpochRecord:
+    """Everything observable at the end of one DVFS epoch."""
+
+    index: int
+    start_time_s: float
+    duration_s: float
+    levels: list[int]
+    counters: CounterSet
+    cluster_counters: list[CounterSet]
+    instructions: float
+    cluster_energy_j: float
+    uncore_energy_j: float
+    all_finished: bool
+    finish_time_s: float
+
+    @property
+    def energy_j(self) -> float:
+        """Total GPU energy of the epoch."""
+        return self.cluster_energy_j + self.uncore_energy_j
+
+    @property
+    def end_time_s(self) -> float:
+        """Wall-clock time at the end of this epoch."""
+        return self.start_time_s + self.duration_s
+
+
+class DVFSPolicy(Protocol):
+    """Anything that can steer per-cluster V/f from epoch records."""
+
+    name: str
+
+    def reset(self, simulator: "GPUSimulator") -> None:
+        """Called once before a run starts."""
+
+    def decide(self, record: EpochRecord) -> int | Sequence[int]:
+        """Return the level(s) for the next epoch."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a full policy-driven run."""
+
+    policy_name: str
+    kernel_name: str
+    account: EnergyAccount
+    epochs: int
+    records: list[EpochRecord] = field(default_factory=list)
+
+    @property
+    def time_s(self) -> float:
+        """Total wall-clock time of the run."""
+        return self.account.time_s
+
+    @property
+    def energy_j(self) -> float:
+        """Total energy of the run."""
+        return self.account.energy_j
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product of the run."""
+        return self.account.edp
+
+
+class GPUSimulator:
+    """Epoch-stepped multi-cluster GPU simulator with per-cluster DVFS."""
+
+    def __init__(self, arch: GPUArchConfig,
+                 kernel: KernelProfile | Sequence[KernelProfile],
+                 power_model: PowerModel | None = None,
+                 seed: int | None = None,
+                 epoch_s: float = DEFAULT_EPOCH_S) -> None:
+        if epoch_s <= 0:
+            raise SimulationError("epoch length must be positive")
+        self.arch = arch
+        # Heterogeneous (multi-tenant) mode: a list of kernels is dealt
+        # round-robin across clusters — the scenario where *per-cluster*
+        # DVFS pays off over any single chip-wide setting.
+        if isinstance(kernel, KernelProfile):
+            kernels = [kernel]
+        else:
+            kernels = list(kernel)
+            if not kernels:
+                raise SimulationError("need at least one kernel")
+        self.kernel = kernels[0]
+        self.kernels = kernels
+        self.power_model = (power_model
+                            or PowerModel.scaled_for(arch.num_clusters))
+        self.epoch_s = float(epoch_s)
+        self.seed = seed
+        streams = StreamFactory() if seed is None else StreamFactory(seed)
+        self.clusters: list[ClusterState] = []
+        skew_rngs = {k.name: streams.get(f"skew.{k.name}") for k in kernels}
+        for cid in range(arch.num_clusters):
+            cluster_kernel = kernels[cid % len(kernels)]
+            noise = WorkloadNoise(
+                streams.get(f"noise.{cluster_kernel.name}.c{cid}"),
+                sigma=cluster_kernel.jitter,
+            )
+            max_skew = max(1.0, cluster_kernel.phases[0].instructions * 0.25)
+            skew = float(skew_rngs[cluster_kernel.name].uniform(0.0, max_skew))
+            self.clusters.append(
+                ClusterState(arch, cluster_kernel, noise, cluster_id=cid,
+                             skew_instructions=skew)
+            )
+        self.time_s = 0.0
+        self.epoch_index = 0
+
+    @property
+    def workload_name(self) -> str:
+        """Display name: single kernel, or '+'-joined tenant mix."""
+        if len(self.kernels) == 1:
+            return self.kernel.name
+        return "+".join(k.name for k in self.kernels)
+
+    # ------------------------------------------------------------------
+    # State inspection / control
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once every cluster has completed the kernel."""
+        return all(c.finished for c in self.clusters)
+
+    @property
+    def levels(self) -> list[int]:
+        """Current operating-point level per cluster."""
+        return [c.level for c in self.clusters]
+
+    def mean_instructions_done(self) -> float:
+        """Mean per-cluster instructions completed since kernel start."""
+        return (sum(c.instructions_done for c in self.clusters)
+                / len(self.clusters))
+
+    def set_all_levels(self, level: int) -> None:
+        """Switch every cluster to the same operating point."""
+        for cluster in self.clusters:
+            cluster.set_level(level)
+
+    def apply_decision(self, decision: int | Sequence[int]) -> None:
+        """Apply a policy decision (scalar broadcast or per-cluster)."""
+        if isinstance(decision, (int, float)):
+            self.set_all_levels(int(decision))
+            return
+        levels = list(decision)
+        if len(levels) != len(self.clusters):
+            raise SimulationError(
+                f"expected {len(self.clusters)} levels, got {len(levels)}"
+            )
+        for cluster, level in zip(self.clusters, levels):
+            cluster.set_level(int(level))
+
+    # ------------------------------------------------------------------
+    # Epoch stepping
+    # ------------------------------------------------------------------
+    def step_epoch(self) -> EpochRecord:
+        """Run one DVFS epoch on every cluster and account power."""
+        if self.finished:
+            raise SimulationError("cannot step a finished simulation")
+        activities: list[EpochActivity] = []
+        levels = self.levels
+        for cluster in self.clusters:
+            activities.append(cluster.run_epoch(self.epoch_s))
+
+        cluster_counters: list[CounterSet] = []
+        cluster_energy = 0.0
+        for activity in activities:
+            power = self.power_model.cluster_power(activity)
+            counters = build_counters(activity, self.arch)
+            counters["power_per_core"] = power.total_w
+            counters["power_dynamic"] = power.dynamic_w
+            counters["power_static"] = power.static_w
+            counters["energy_epoch"] = power.energy_j
+            cluster_counters.append(counters)
+            cluster_energy += power.energy_j
+        uncore = self.power_model.uncore_power(activities, self.epoch_s)
+
+        all_finished = all(a.finished for a in activities)
+        finish_time = max((a.busy_s for a in activities), default=0.0)
+        record = EpochRecord(
+            index=self.epoch_index,
+            start_time_s=self.time_s,
+            duration_s=self.epoch_s,
+            levels=levels,
+            counters=CounterSet.average(cluster_counters),
+            cluster_counters=cluster_counters,
+            instructions=sum(a.instructions for a in activities),
+            cluster_energy_j=cluster_energy,
+            uncore_energy_j=uncore.energy_j,
+            all_finished=all_finished,
+            finish_time_s=finish_time,
+        )
+        self.time_s += self.epoch_s
+        self.epoch_index += 1
+        return record
+
+    def _final_epoch_adjustment(self, record: EpochRecord) -> tuple[float, float]:
+        """Effective (time, energy) of a run-ending epoch.
+
+        Clusters finish mid-epoch; the program is done once the last
+        busy cluster drains, so the idle tail's static/clock power is
+        refunded and time is truncated to the drain point.
+        """
+        effective_time = min(record.duration_s, max(record.finish_time_s, 1e-12))
+        unused = record.duration_s - effective_time
+        static_total = sum(c["power_static"] for c in record.cluster_counters)
+        static_total += self.power_model.config.uncore_static_w
+        refund = unused * static_total
+        effective_energy = max(0.0, record.energy_j - refund)
+        return effective_time, effective_energy
+
+    def run(self, policy: DVFSPolicy, max_epochs: int = 100_000,
+            keep_records: bool = True) -> RunResult:
+        """Run the kernel to completion under ``policy``."""
+        policy.reset(self)
+        account = EnergyAccount()
+        records: list[EpochRecord] = []
+        epochs = 0
+        while not self.finished:
+            if epochs >= max_epochs:
+                raise SimulationError(
+                    f"run exceeded {max_epochs} epochs; kernel "
+                    f"{self.workload_name!r} may be too long for this budget"
+                )
+            record = self.step_epoch()
+            epochs += 1
+            if record.all_finished:
+                time_s, energy_j = self._final_epoch_adjustment(record)
+                account.add(energy_j, time_s)
+            else:
+                account.add(record.energy_j, record.duration_s)
+                decision = policy.decide(record)
+                self.apply_decision(decision)
+            if keep_records:
+                records.append(record)
+        return RunResult(
+            policy_name=policy.name,
+            kernel_name=self.workload_name,
+            account=account,
+            epochs=epochs,
+            records=records,
+        )
+
+    def run_epochs_at_level(self, level: int, num_epochs: int) -> list[EpochRecord]:
+        """Run ``num_epochs`` epochs pinned at one operating point."""
+        self.set_all_levels(level)
+        records = []
+        for _ in range(num_epochs):
+            if self.finished:
+                break
+            records.append(self.step_epoch())
+        return records
+
+    def run_until_instructions(self, target_mean_instructions: float,
+                               max_epochs: int = 100_000) -> list[EpochRecord]:
+        """Run at current levels until the mean per-cluster instruction
+        count reaches ``target_mean_instructions`` (or the kernel ends).
+
+        This is the "resume until the breakpoint-relative workload mark"
+        primitive of the data-generation protocol (§III-A): total
+        workload is held constant across V/f variants by running to an
+        instruction mark, not to a time mark.
+        """
+        records = []
+        epochs = 0
+        while (not self.finished
+               and self.mean_instructions_done() < target_mean_instructions):
+            if epochs >= max_epochs:
+                raise SimulationError("instruction mark never reached")
+            records.append(self.step_epoch())
+            epochs += 1
+        return records
+
+    # ------------------------------------------------------------------
+    # Snapshots (for data-generation replay)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture full replayable simulator state."""
+        return {
+            "kernel_name": self.workload_name,
+            "time_s": self.time_s,
+            "epoch_index": self.epoch_index,
+            "clusters": [c.snapshot() for c in self.clusters],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`snapshot` on this instance."""
+        if state.get("kernel_name") != self.workload_name:
+            raise SnapshotError(
+                "snapshot belongs to a different workload "
+                f"({state.get('kernel_name')!r} != {self.workload_name!r})"
+            )
+        if len(state["clusters"]) != len(self.clusters):
+            raise SnapshotError("snapshot cluster count mismatch")
+        self.time_s = state["time_s"]
+        self.epoch_index = state["epoch_index"]
+        for cluster, cluster_state in zip(self.clusters, state["clusters"]):
+            cluster.restore(cluster_state)

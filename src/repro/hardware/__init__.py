@@ -1,0 +1,9 @@
+"""ASIC implementation cost model (paper §V-D)."""
+
+from .asic import WEIGHT_BITS, ASICConfig, ASICModel, ASICReport
+from .scaling import scale_area, scale_energy, scale_power, supported_nodes
+
+__all__ = [
+    "WEIGHT_BITS", "ASICConfig", "ASICModel", "ASICReport",
+    "scale_area", "scale_energy", "scale_power", "supported_nodes",
+]

@@ -1,0 +1,164 @@
+"""ASIC cost model for the SSMDVFS inference module (§V-D).
+
+The paper implements the compressed model as an FP32 ASIC block:
+192 cycles per inference (0.16 µs at 1165 MHz, 1.65 % of a 10 µs
+epoch), 0.0080 mm² and 0.0025 W after scaling from 65 nm to 28 nm.
+
+We model the natural microarchitecture for a ~180-MAC workload: a small
+number of FP32 MAC units streaming weights from a local SRAM, one layer
+at a time.  Cycles come from the MAC schedule plus per-layer pipeline
+fill and I/O; area and energy come from published 65 nm FP32-MAC and
+SRAM figures, then node-scale to 28 nm via :mod:`repro.hardware.scaling`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareModelError
+from ..nn.flops import macs
+from ..nn.mlp import MLP
+from ..units import to_us
+from .scaling import scale_area, scale_energy
+
+#: Weight precision of the paper's module (FP32, §V-D).
+WEIGHT_BITS = 32
+
+
+@dataclass(frozen=True)
+class ASICConfig:
+    """Constants of the inference-engine model (65 nm reference).
+
+    Defaults are representative published 65 nm figures: an FP32
+    multiply-accumulate datapath around 0.02 mm² and ~12 pJ/op, and
+    single-port SRAM near 0.55 um^2/bit and ~0.05 pJ/bit read energy.
+    """
+
+    num_macs: int = 1
+    clock_hz: float = 1165e6
+    mac_area_mm2: float = 0.020
+    mac_energy_j: float = 12e-12
+    sram_area_mm2_per_bit: float = 0.55e-6
+    sram_read_energy_j_per_bit: float = 0.05e-12
+    control_area_overhead: float = 0.35
+    pipeline_cycles_per_layer: int = 4
+    io_cycles: int = 12
+    leakage_fraction: float = 0.15
+    reference_node_nm: int = 65
+
+    def __post_init__(self) -> None:
+        if self.num_macs < 1:
+            raise HardwareModelError("need at least one MAC unit")
+        if self.clock_hz <= 0:
+            raise HardwareModelError("clock must be positive")
+        for name in ("mac_area_mm2", "mac_energy_j",
+                     "sram_area_mm2_per_bit", "sram_read_energy_j_per_bit"):
+            if getattr(self, name) <= 0:
+                raise HardwareModelError(f"{name} must be positive")
+        if not 0.0 <= self.leakage_fraction < 1.0:
+            raise HardwareModelError("leakage_fraction must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class ASICReport:
+    """Cost of running a model pair on the inference engine."""
+
+    cycles_per_inference: int
+    latency_s: float
+    area_mm2_reference: float
+    area_mm2_scaled: float
+    energy_per_inference_j: float
+    power_w_scaled: float
+    node_nm: int
+    reference_node_nm: int
+
+    @property
+    def latency_us(self) -> float:
+        """Inference latency in microseconds."""
+        return to_us(self.latency_s)
+
+    def epoch_fraction(self, epoch_s: float) -> float:
+        """Share of one DVFS epoch spent on inference."""
+        if epoch_s <= 0:
+            raise HardwareModelError("epoch must be positive")
+        return self.latency_s / epoch_s
+
+    def tdp_fraction(self, gpu_tdp_w: float) -> float:
+        """Inference power as a share of the GPU's TDP."""
+        if gpu_tdp_w <= 0:
+            raise HardwareModelError("TDP must be positive")
+        return self.power_w_scaled / gpu_tdp_w
+
+
+class ASICModel:
+    """Analytical cost model of the SSMDVFS inference engine."""
+
+    def __init__(self, config: ASICConfig | None = None) -> None:
+        self.config = config or ASICConfig()
+
+    # ------------------------------------------------------------------
+    def _total_macs(self, models: list[MLP], sparse: bool) -> int:
+        if not models:
+            raise HardwareModelError("no models given")
+        return sum(macs(model, sparse=sparse) for model in models)
+
+    def _total_layers(self, models: list[MLP]) -> int:
+        return sum(len(model.layers) for model in models)
+
+    def _weight_bits(self, models: list[MLP], sparse: bool) -> int:
+        # Sparse storage still keeps per-weight indices; approximate a
+        # compressed-sparse layout as value bits + 25 % index overhead.
+        bits = self._total_macs(models, sparse) * WEIGHT_BITS
+        return int(bits * 1.25) if sparse else bits
+
+    def cycles_per_inference(self, models: list[MLP],
+                             sparse: bool = True) -> int:
+        """MAC schedule + per-layer pipeline fill + I/O."""
+        cfg = self.config
+        mac_cycles = -(-self._total_macs(models, sparse) // cfg.num_macs)
+        overhead = (cfg.pipeline_cycles_per_layer * self._total_layers(models)
+                    + cfg.io_cycles)
+        return mac_cycles + overhead
+
+    def area_mm2(self, models: list[MLP], sparse: bool = True,
+                 node_nm: int | None = None) -> float:
+        """Die area at the requested node (default: reference node)."""
+        cfg = self.config
+        sram = self._weight_bits(models, sparse) * cfg.sram_area_mm2_per_bit
+        datapath = cfg.num_macs * cfg.mac_area_mm2
+        area = (datapath + sram) * (1.0 + cfg.control_area_overhead)
+        if node_nm is None or node_nm == cfg.reference_node_nm:
+            return area
+        return scale_area(area, cfg.reference_node_nm, node_nm)
+
+    def energy_per_inference_j(self, models: list[MLP], sparse: bool = True,
+                               node_nm: int | None = None) -> float:
+        """Dynamic energy of one inference (plus leakage share)."""
+        cfg = self.config
+        n_macs = self._total_macs(models, sparse)
+        mac_energy = n_macs * cfg.mac_energy_j
+        sram_energy = (n_macs * WEIGHT_BITS
+                       * cfg.sram_read_energy_j_per_bit)
+        dynamic = mac_energy + sram_energy
+        total = dynamic / (1.0 - cfg.leakage_fraction)
+        if node_nm is None or node_nm == cfg.reference_node_nm:
+            return total
+        return scale_energy(total, cfg.reference_node_nm, node_nm)
+
+    def report(self, models: list[MLP], sparse: bool = True,
+               node_nm: int = 28) -> ASICReport:
+        """Full §V-D style cost report at ``node_nm``."""
+        cfg = self.config
+        cycles = self.cycles_per_inference(models, sparse)
+        latency = cycles / cfg.clock_hz
+        energy = self.energy_per_inference_j(models, sparse, node_nm)
+        return ASICReport(
+            cycles_per_inference=cycles,
+            latency_s=latency,
+            area_mm2_reference=self.area_mm2(models, sparse),
+            area_mm2_scaled=self.area_mm2(models, sparse, node_nm),
+            energy_per_inference_j=energy,
+            power_w_scaled=energy / latency,
+            node_nm=node_nm,
+            reference_node_nm=cfg.reference_node_nm,
+        )

@@ -1,0 +1,41 @@
+"""Weight initializers for the numpy NN framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+def he_uniform(rng: np.random.Generator, fan_in: int,
+               fan_out: int) -> np.ndarray:
+    """He (Kaiming) uniform init — the right default for ReLU stacks."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ModelError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int,
+                   fan_out: int) -> np.ndarray:
+    """Glorot uniform init — used for linear output layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ModelError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+INITIALIZERS = {
+    "he": he_uniform,
+    "xavier": xavier_uniform,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown initializer {name!r}; available: {sorted(INITIALIZERS)}"
+        ) from None

@@ -1,0 +1,61 @@
+"""Loss functions (value + gradient w.r.t. network output)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Cross-entropy over integer class labels, softmax applied here."""
+
+    name = "softmax-cross-entropy"
+
+    def __call__(self, logits: np.ndarray,
+                 labels: np.ndarray) -> tuple[float, np.ndarray]:
+        labels = np.asarray(labels)
+        if logits.ndim != 2:
+            raise TrainingError("logits must be 2-D (batch, classes)")
+        if labels.shape != (logits.shape[0],):
+            raise TrainingError(
+                f"labels shape {labels.shape} does not match batch "
+                f"{logits.shape[0]}"
+            )
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise TrainingError("label out of range for logit width")
+        n = logits.shape[0]
+        probs = softmax(logits)
+        picked = probs[np.arange(n), labels]
+        loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+        grad = probs.copy()
+        grad[np.arange(n), labels] -= 1.0
+        return loss, grad / n
+
+
+class MeanSquaredError:
+    """MSE over continuous targets of shape (batch, outputs)."""
+
+    name = "mse"
+
+    def __call__(self, predictions: np.ndarray,
+                 targets: np.ndarray) -> tuple[float, np.ndarray]:
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.ndim == 1:
+            targets = targets[:, None]
+        if predictions.shape != targets.shape:
+            raise TrainingError(
+                f"prediction shape {predictions.shape} != target shape "
+                f"{targets.shape}"
+            )
+        diff = predictions - targets
+        loss = float((diff ** 2).mean())
+        grad = 2.0 * diff / diff.size
+        return loss, grad

@@ -1,0 +1,86 @@
+"""Optimizers.
+
+Optimizers bind to a model's layers and update parameters in place from
+the gradients the backward pass left on each layer.  After every step
+the pruning masks are re-applied, so pruned weights never drift away
+from zero during fine-tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+from .mlp import MLP
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, model: MLP, learning_rate: float = 1e-2,
+                 momentum: float = 0.9) -> None:
+        if learning_rate <= 0:
+            raise TrainingError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError("momentum must be in [0, 1)")
+        self.model = model
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity = [
+            (np.zeros_like(layer.weights), np.zeros_like(layer.bias))
+            for layer in model.layers
+        ]
+
+    def step(self) -> None:
+        """Apply one update from the gradients on the model's layers."""
+        for layer, (vel_w, vel_b) in zip(self.model.layers, self._velocity):
+            vel_w *= self.momentum
+            vel_w -= self.learning_rate * layer.grad_weights
+            vel_b *= self.momentum
+            vel_b -= self.learning_rate * layer.grad_bias
+            layer.weights += vel_w
+            layer.bias += vel_b
+        self.model.apply_masks()
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba)."""
+
+    def __init__(self, model: MLP, learning_rate: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 epsilon: float = 1e-8) -> None:
+        if learning_rate <= 0:
+            raise TrainingError("learning rate must be positive")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise TrainingError("betas must be in [0, 1)")
+        self.model = model
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._t = 0
+        self._moments = [
+            (np.zeros_like(layer.weights), np.zeros_like(layer.weights),
+             np.zeros_like(layer.bias), np.zeros_like(layer.bias))
+            for layer in model.layers
+        ]
+
+    def step(self) -> None:
+        """Apply one Adam update from the gradients on the layers."""
+        self._t += 1
+        correction1 = 1.0 - self.beta1 ** self._t
+        correction2 = 1.0 - self.beta2 ** self._t
+        scale = self.learning_rate * np.sqrt(correction2) / correction1
+        for layer, (m_w, v_w, m_b, v_b) in zip(self.model.layers,
+                                               self._moments):
+            m_w *= self.beta1
+            m_w += (1.0 - self.beta1) * layer.grad_weights
+            v_w *= self.beta2
+            v_w += (1.0 - self.beta2) * layer.grad_weights ** 2
+            layer.weights -= scale * m_w / (np.sqrt(v_w) + self.epsilon)
+            m_b *= self.beta1
+            m_b += (1.0 - self.beta1) * layer.grad_bias
+            v_b *= self.beta2
+            v_b += (1.0 - self.beta2) * layer.grad_bias ** 2
+            layer.bias -= scale * m_b / (np.sqrt(v_b) + self.epsilon)
+        self.model.apply_masks()

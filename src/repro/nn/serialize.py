@@ -1,0 +1,77 @@
+"""Model (de)serialization.
+
+Models round-trip through plain dictionaries of numpy arrays, which
+also serialize to ``.npz`` files — enough for checkpointing trained
+Decision-maker / Calibrator pairs between pipeline stages.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ModelError
+from .layers import Dense
+from .mlp import MLP
+
+
+def model_to_arrays(model: MLP) -> dict[str, np.ndarray]:
+    """Flatten a model into a dict of arrays (npz-compatible)."""
+    arrays: dict[str, np.ndarray] = {
+        "num_layers": np.array(len(model.layers)),
+    }
+    for index, layer in enumerate(model.layers):
+        arrays[f"w{index}"] = layer.weights
+        arrays[f"b{index}"] = layer.bias
+        arrays[f"m{index}"] = layer.mask
+        arrays[f"act{index}"] = np.array(layer.activation)
+    return arrays
+
+
+def model_from_arrays(arrays: dict[str, np.ndarray]) -> MLP:
+    """Rebuild a model serialized by :func:`model_to_arrays`."""
+    if "num_layers" not in arrays:
+        raise ModelError("missing num_layers key")
+    num_layers = int(arrays["num_layers"])
+    if num_layers <= 0:
+        raise ModelError("serialized model has no layers")
+    model = MLP.__new__(MLP)
+    model.layers = []
+    for index in range(num_layers):
+        try:
+            weights = np.asarray(arrays[f"w{index}"], dtype=np.float64)
+            bias = np.asarray(arrays[f"b{index}"], dtype=np.float64)
+            mask = np.asarray(arrays[f"m{index}"], dtype=np.float64)
+            activation = str(arrays[f"act{index}"])
+        except KeyError as exc:
+            raise ModelError(f"missing array for layer {index}: {exc}") from exc
+        if weights.ndim != 2 or bias.shape != (weights.shape[1],):
+            raise ModelError(f"layer {index} has inconsistent shapes")
+        if mask.shape != weights.shape:
+            raise ModelError(f"layer {index} mask shape mismatch")
+        layer = Dense.__new__(Dense)
+        layer.weights = weights
+        layer.bias = bias
+        layer.mask = mask
+        layer.activation = activation
+        layer.grad_weights = np.zeros_like(weights)
+        layer.grad_bias = np.zeros_like(bias)
+        layer._cache_input = None
+        layer._cache_preact = None
+        model.layers.append(layer)
+    return model
+
+
+def save_model(model: MLP, path: str | Path) -> None:
+    """Save a model to an ``.npz`` file."""
+    np.savez(Path(path), **model_to_arrays(model))
+
+
+def load_model(path: str | Path) -> MLP:
+    """Load a model saved with :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise ModelError(f"model file not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        return model_from_arrays({key: data[key] for key in data.files})

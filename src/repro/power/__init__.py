@@ -1,0 +1,17 @@
+"""McPAT-surrogate power model and energy/EDP accounting."""
+
+from .breakdown import (EnergyBreakdown, breakdown_for_epoch,
+                        run_with_breakdown)
+from .energy import EnergyAccount, performance_loss
+from .model import (REFERENCE_VOLTAGE, ClusterPower, PowerModel,
+                    PowerModelConfig, UncorePower)
+from .thermal import (ThermalConfig, ThermalNode, ThermalTracker,
+                      run_with_thermal)
+
+__all__ = [
+    "EnergyBreakdown", "breakdown_for_epoch", "run_with_breakdown",
+    "EnergyAccount", "performance_loss",
+    "REFERENCE_VOLTAGE", "ClusterPower", "PowerModel", "PowerModelConfig",
+    "UncorePower",
+    "ThermalConfig", "ThermalNode", "ThermalTracker", "run_with_thermal",
+]

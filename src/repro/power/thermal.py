@@ -1,0 +1,182 @@
+"""Lumped RC thermal model with leakage feedback (extension).
+
+The paper treats temperature implicitly (leakage constants at a fixed
+operating temperature).  This extension closes the loop the way
+McPAT/HotSpot co-simulations do, at the coarsest useful granularity:
+one thermal RC node per cluster plus one for the package.
+
+* Temperature integrates ``C dT/dt = P - (T - T_amb) / R``.
+* Leakage grows exponentially with temperature:
+  ``P_leak(T) = P_leak(T0) * exp(k * (T - T0))``.
+
+The feedback means sustained high-V/f operation heats the die, which
+inflates leakage, which heats the die further — the runaway DVFS is
+ultimately protecting against.  The `bench_ablation_thermal` benchmark
+quantifies the peak-temperature reduction SSMDVFS buys on top of its
+EDP savings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Default leakage-temperature sensitivity (1/K); ~2x per 25-30 K.
+DEFAULT_LEAK_TEMP_COEFF = 0.025
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """RC constants of the per-cluster thermal node.
+
+    Defaults give a cluster-scale silicon+spreader node: a thermal time
+    constant of a few milliseconds, so µs-scale power changes integrate
+    smoothly (temperature is the *slow* state DVFS acts through).
+    """
+
+    ambient_c: float = 45.0
+    reference_c: float = 60.0
+    resistance_c_per_w: float = 4.0
+    capacitance_j_per_c: float = 2.0e-3
+    leak_temp_coeff: float = DEFAULT_LEAK_TEMP_COEFF
+    max_temperature_c: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.resistance_c_per_w <= 0:
+            raise ConfigError("thermal resistance must be positive")
+        if self.capacitance_j_per_c <= 0:
+            raise ConfigError("thermal capacitance must be positive")
+        if self.leak_temp_coeff < 0:
+            raise ConfigError("leakage coefficient cannot be negative")
+        if self.max_temperature_c <= self.ambient_c:
+            raise ConfigError("max temperature must exceed ambient")
+
+    @property
+    def time_constant_s(self) -> float:
+        """RC time constant of the node."""
+        return self.resistance_c_per_w * self.capacitance_j_per_c
+
+
+class ThermalNode:
+    """One first-order RC thermal node with exact exponential stepping."""
+
+    def __init__(self, config: ThermalConfig | None = None,
+                 initial_c: float | None = None) -> None:
+        self.config = config or ThermalConfig()
+        self.temperature_c = (self.config.ambient_c if initial_c is None
+                              else float(initial_c))
+        self.peak_c = self.temperature_c
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Temperature the node settles at under constant ``power_w``."""
+        if power_w < 0:
+            raise ConfigError("power cannot be negative")
+        return self.config.ambient_c + power_w * self.config.resistance_c_per_w
+
+    def step(self, power_w: float, dt_s: float) -> float:
+        """Advance ``dt_s`` seconds under constant power; returns T.
+
+        Uses the exact solution of the linear RC ODE, so arbitrarily
+        long epochs step stably.
+        """
+        if dt_s <= 0:
+            raise ConfigError("time step must be positive")
+        target = self.steady_state_c(power_w)
+        alpha = math.exp(-dt_s / self.config.time_constant_s)
+        self.temperature_c = target + (self.temperature_c - target) * alpha
+        self.temperature_c = min(self.temperature_c,
+                                 self.config.max_temperature_c)
+        self.peak_c = max(self.peak_c, self.temperature_c)
+        return self.temperature_c
+
+    def leakage_multiplier(self) -> float:
+        """Factor to apply to reference-temperature leakage power."""
+        delta = self.temperature_c - self.config.reference_c
+        return math.exp(self.config.leak_temp_coeff * delta)
+
+
+class ThermalTracker:
+    """Per-cluster thermal nodes driven by epoch power, with feedback.
+
+    Usage: after each simulator epoch, feed the per-cluster powers; the
+    tracker returns the leakage-adjusted *additional* energy and keeps
+    temperature/peak statistics.
+    """
+
+    def __init__(self, num_clusters: int,
+                 config: ThermalConfig | None = None) -> None:
+        if num_clusters <= 0:
+            raise ConfigError("num_clusters must be positive")
+        self.config = config or ThermalConfig()
+        self.nodes = [ThermalNode(self.config) for _ in range(num_clusters)]
+
+    def step_epoch(self, cluster_powers_w: list[float],
+                   static_powers_w: list[float], dt_s: float) -> float:
+        """Advance all nodes one epoch; returns extra leakage energy (J).
+
+        ``cluster_powers_w`` drives heating; ``static_powers_w`` is the
+        reference-temperature leakage share that the temperature
+        multiplier applies to.
+        """
+        if len(cluster_powers_w) != len(self.nodes):
+            raise ConfigError("power list length mismatch")
+        if len(static_powers_w) != len(self.nodes):
+            raise ConfigError("static power list length mismatch")
+        extra_energy = 0.0
+        for node, power, static in zip(self.nodes, cluster_powers_w,
+                                       static_powers_w):
+            if power < 0 or static < 0:
+                raise ConfigError("powers cannot be negative")
+            node.step(power, dt_s)
+            extra_energy += static * (node.leakage_multiplier() - 1.0) * dt_s
+        return extra_energy
+
+    @property
+    def peak_temperature_c(self) -> float:
+        """Hottest temperature any cluster has reached."""
+        return max(node.peak_c for node in self.nodes)
+
+    @property
+    def mean_temperature_c(self) -> float:
+        """Current mean cluster temperature."""
+        return sum(n.temperature_c for n in self.nodes) / len(self.nodes)
+
+
+def run_with_thermal(simulator, policy, config: ThermalConfig | None = None,
+                     max_epochs: int = 100_000):
+    """Run a policy with the thermal feedback loop engaged.
+
+    Returns ``(run_result, tracker)`` where the run's energy account
+    includes the temperature-driven extra leakage.  The policy sees the
+    unmodified counters (temperature sensors are out of scope for the
+    paper's feature set).
+    """
+    from ..power.energy import EnergyAccount
+    from ..gpu.simulator import RunResult
+
+    tracker = ThermalTracker(len(simulator.clusters), config)
+    policy.reset(simulator)
+    account = EnergyAccount()
+    epochs = 0
+    records = []
+    while not simulator.finished:
+        if epochs >= max_epochs:
+            raise ConfigError("thermal run exceeded the epoch budget")
+        record = simulator.step_epoch()
+        epochs += 1
+        powers = [c["power_per_core"] for c in record.cluster_counters]
+        statics = [c["power_static"] for c in record.cluster_counters]
+        extra = tracker.step_epoch(powers, statics, record.duration_s)
+        if record.all_finished:
+            time_s, energy_j = simulator._final_epoch_adjustment(record)
+            account.add(energy_j + extra, time_s)
+        else:
+            account.add(record.energy_j + extra, record.duration_s)
+            simulator.apply_decision(policy.decide(record))
+        records.append(record)
+    return RunResult(policy_name=policy.name,
+                     kernel_name=simulator.kernel.name,
+                     account=account, epochs=epochs,
+                     records=records), tracker

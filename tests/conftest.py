@@ -1,0 +1,71 @@
+"""Shared fixtures: a small generated dataset and a trained model pair.
+
+Data generation and training are the expensive parts of the test suite,
+so a reduced (but real) dataset and pipeline build are generated once
+per session and shared across test modules.
+"""
+
+import pytest
+
+from repro.datagen.dataset import DVFSDataset
+from repro.datagen.protocol import ProtocolConfig, generate_for_suite
+from repro.gpu.arch import small_test_config
+from repro.gpu.kernels import KernelProfile
+from repro.gpu.phases import (balanced_phase, compute_phase, divergent_phase,
+                              memory_phase)
+from repro.nn.trainer import TrainConfig
+from repro.core.pipeline import PipelineConfig, build_from_dataset
+
+
+def _training_kernels():
+    """Small but diverse kernels spanning compute- to memory-bound.
+
+    Phases span several epochs (like the real suites) so next-window
+    prediction is learnable, and the memory kernel is bandwidth-capped
+    (warps high, misses high) so it is genuinely frequency-insensitive.
+    """
+    return [
+        KernelProfile("t.compute", [compute_phase("c", 150_000, warps=16)],
+                      iterations=8, jitter=0.06),
+        KernelProfile("t.memory",
+                      [memory_phase("m", 150_000, warps=48, l1_miss=0.9,
+                                    l2_miss=0.9)],
+                      iterations=8, jitter=0.06),
+        KernelProfile("t.balanced", [balanced_phase("b", 150_000)],
+                      iterations=8, jitter=0.06),
+        KernelProfile("t.mixed",
+                      [compute_phase("c", 90_000, warps=20),
+                       memory_phase("m", 90_000, warps=40),
+                       divergent_phase("d", 50_000)],
+                      iterations=6, jitter=0.08),
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_arch():
+    """Two-cluster architecture for fast simulation."""
+    return small_test_config(num_clusters=2)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_arch) -> DVFSDataset:
+    """A real (small) dataset generated through the full protocol."""
+    config = ProtocolConfig(max_breakpoints_per_kernel=5, seed=11)
+    breakpoints = generate_for_suite(_training_kernels(), small_arch,
+                                     config=config)
+    return DVFSDataset.from_breakpoints(breakpoints)
+
+
+@pytest.fixture(scope="session")
+def small_pipeline(small_dataset, small_arch):
+    """A full pipeline build (base + compressed + pruned) on the small set."""
+    config = PipelineConfig(
+        feature_names=("power_per_core", "ipc", "stall_mem_hazard",
+                       "stall_mem_hazard_nonload", "l1_read_miss"),
+        train=TrainConfig(epochs=50, patience=10, learning_rate=3e-3,
+                          seed=11),
+        finetune=TrainConfig(epochs=15, patience=5, learning_rate=5e-4,
+                             seed=11),
+        seed=11,
+    )
+    return build_from_dataset(small_dataset, small_arch, config)

@@ -1,0 +1,71 @@
+"""GPU architecture configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.arch import GPUArchConfig, small_test_config, titan_x_config
+from repro.units import mhz
+
+
+def test_titan_x_cluster_count():
+    assert titan_x_config().num_clusters == 24
+
+
+def test_titan_x_default_frequency():
+    assert titan_x_config().default_frequency_hz == pytest.approx(mhz(1165))
+
+
+def test_cluster_bandwidth_is_fair_share():
+    arch = titan_x_config()
+    assert arch.cluster_bandwidth_bytes_per_s == pytest.approx(
+        arch.dram_bandwidth_bytes_per_s / arch.num_clusters)
+
+
+def test_memory_latency_pure_l1_hit_is_frequency_invariant_in_cycles():
+    arch = titan_x_config()
+    lat_fast = arch.memory_latency_cycles(0.0, 0.0, mhz(1165))
+    lat_slow = arch.memory_latency_cycles(0.0, 0.0, mhz(683))
+    assert lat_fast == pytest.approx(lat_slow)
+    assert lat_fast == pytest.approx(arch.l1_hit_latency_cycles)
+
+
+def test_memory_latency_grows_with_frequency_when_missing():
+    arch = titan_x_config()
+    lat_fast = arch.memory_latency_cycles(1.0, 1.0, mhz(1165))
+    lat_slow = arch.memory_latency_cycles(1.0, 1.0, mhz(683))
+    assert lat_fast > lat_slow
+
+
+def test_memory_latency_grows_with_miss_rates():
+    arch = titan_x_config()
+    f = mhz(1165)
+    assert (arch.memory_latency_cycles(0.8, 0.5, f)
+            > arch.memory_latency_cycles(0.2, 0.5, f))
+    assert (arch.memory_latency_cycles(0.5, 0.9, f)
+            > arch.memory_latency_cycles(0.5, 0.1, f))
+
+
+def test_memory_latency_rejects_bad_rates():
+    arch = titan_x_config()
+    with pytest.raises(ConfigError):
+        arch.memory_latency_cycles(1.5, 0.0, mhz(1165))
+    with pytest.raises(ConfigError):
+        arch.memory_latency_cycles(0.0, -0.1, mhz(1165))
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ConfigError):
+        GPUArchConfig(num_clusters=0)
+    with pytest.raises(ConfigError):
+        GPUArchConfig(issue_width=0)
+    with pytest.raises(ConfigError):
+        GPUArchConfig(dram_bandwidth_bytes_per_s=-1)
+    with pytest.raises(ConfigError):
+        GPUArchConfig(cache_line_bytes=0)
+
+
+def test_small_test_config_is_smaller():
+    small = small_test_config()
+    big = titan_x_config()
+    assert small.num_clusters < big.num_clusters
+    assert small.vf_table.num_levels == big.vf_table.num_levels

@@ -1,0 +1,94 @@
+"""Command-line interface (smoke-level, reduced configurations)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_builds_and_lists_commands():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for command in ("suites", "datagen", "stats", "train", "evaluate",
+                    "hardware", "run"):
+        assert command in help_text
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_suites_command(capsys):
+    assert main(["suites"]) == 0
+    out = capsys.readouterr().out
+    assert "rodinia.bfs" in out
+    assert "eval/unseen" in out
+    assert "train" in out
+
+
+@pytest.fixture(scope="module")
+def cli_cache(tmp_path_factory):
+    """A small CLI dataset cache shared by the pipeline commands."""
+    cache = tmp_path_factory.mktemp("cli-cache")
+    code = main(["datagen", "--small", "--cache", str(cache),
+                 "--breakpoints", "2", "--seed", "1"])
+    assert code == 0
+    return cache
+
+
+def test_datagen_is_cached(cli_cache, capsys):
+    # Second invocation must hit the cache (fast) and report the same.
+    assert main(["datagen", "--small", "--cache", str(cli_cache),
+                 "--breakpoints", "2", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "dataset ready" in out
+
+
+def test_stats_command(cli_cache, capsys):
+    assert main(["stats", "--small", "--cache", str(cli_cache),
+                 "--breakpoints", "2", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Dataset diagnostics" in out
+
+
+@pytest.fixture(scope="module")
+def cli_model(cli_cache, tmp_path_factory, capsys=None):
+    out_dir = tmp_path_factory.mktemp("cli-artifacts")
+    code = main(["train", "--small", "--cache", str(cli_cache),
+                 "--breakpoints", "2", "--seed", "1",
+                 "--epochs", "30", "--out", str(out_dir)])
+    assert code == 0
+    return out_dir / "pruned"
+
+
+def test_train_saves_all_variants(cli_model):
+    base = cli_model.parent
+    for variant in ("base", "compressed", "pruned"):
+        assert (base / variant / "meta.json").exists()
+
+
+def test_evaluate_command(cli_model, tmp_path, capsys):
+    export = tmp_path / "fig4.json"
+    code = main(["evaluate", "--small", "--model", str(cli_model),
+                 "--kernels", "2", "--preset", "0.1",
+                 "--duration-us", "150", "--seed", "1",
+                 "--export", str(export)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "normalized EDP" in out or "Fig. 4" in out
+    assert export.exists()
+
+
+def test_hardware_command(cli_model, capsys):
+    assert main(["hardware", "--model", str(cli_model)]) == 0
+    out = capsys.readouterr().out
+    assert "cycles / inference" in out
+
+
+def test_run_command(cli_model, capsys):
+    code = main(["run", "--small", "--model", str(cli_model),
+                 "--kernel", "rodinia.hotspot", "--duration-us", "150",
+                 "--seed", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "normalized EDP" in out

@@ -1,0 +1,88 @@
+"""Package hygiene: public API surface, docstrings, exports."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = ["repro", "repro.gpu", "repro.gpu.detailed", "repro.power",
+            "repro.workloads", "repro.nn", "repro.datagen", "repro.core",
+            "repro.baselines", "repro.hardware", "repro.evaluation"]
+
+
+def _walk_modules():
+    modules = []
+    for name in PACKAGES:
+        package = importlib.import_module(name)
+        modules.append(package)
+        for info in pkgutil.iter_modules(package.__path__,
+                                         prefix=name + "."):
+            modules.append(importlib.import_module(info.name))
+    return modules
+
+
+def test_every_module_imports_and_is_documented():
+    for module in _walk_modules():
+        assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+def test_every_package_all_resolves():
+    for name in PACKAGES:
+        package = importlib.import_module(name)
+        exported = getattr(package, "__all__", [])
+        for symbol in exported:
+            assert hasattr(package, symbol), f"{name}.{symbol}"
+
+
+def test_public_classes_and_functions_documented():
+    """Every public item re-exported by a package has a docstring."""
+    undocumented = []
+    for name in PACKAGES:
+        package = importlib.import_module(name)
+        for symbol in getattr(package, "__all__", []):
+            obj = getattr(package, symbol)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(f"{name}.{symbol}")
+    assert not undocumented, undocumented
+
+
+def test_public_methods_documented():
+    """Public methods of public classes carry docstrings."""
+    undocumented = []
+    for name in PACKAGES:
+        package = importlib.import_module(name)
+        for symbol in getattr(package, "__all__", []):
+            obj = getattr(package, symbol)
+            if not inspect.isclass(obj):
+                continue
+            for method_name, method in inspect.getmembers(
+                    obj, inspect.isfunction):
+                if method_name.startswith("_"):
+                    continue
+                if method.__qualname__.split(".")[0] != obj.__name__:
+                    continue  # inherited elsewhere
+                if not (method.__doc__ and method.__doc__.strip()):
+                    undocumented.append(
+                        f"{name}.{symbol}.{method_name}")
+    assert not undocumented, undocumented
+
+
+def test_version_exposed():
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(part.isdigit() for part in parts)
+
+
+def test_errors_hierarchy():
+    from repro import errors
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if inspect.isclass(obj) and issubclass(obj, Exception) \
+                and obj is not Exception:
+            assert issubclass(obj, errors.ReproError) \
+                or obj is errors.ReproError

@@ -1,0 +1,116 @@
+"""Kernel profiles and execution cursors."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gpu.kernels import KernelCursor, KernelProfile
+from repro.gpu.phases import balanced_phase, compute_phase
+
+
+def _kernel(iterations=2):
+    return KernelProfile(
+        name="test.kernel",
+        phases=[compute_phase("a", 1000), balanced_phase("b", 500)],
+        iterations=iterations,
+    )
+
+
+def test_total_instructions():
+    assert _kernel(iterations=3).total_instructions == 3 * 1500
+
+
+def test_num_segments():
+    assert _kernel(iterations=3).num_segments == 6
+
+
+def test_segment_wraps_per_iteration():
+    kernel = _kernel(iterations=2)
+    assert kernel.segment(0).name == "a"
+    assert kernel.segment(1).name == "b"
+    assert kernel.segment(2).name == "a"
+
+
+def test_segment_out_of_range():
+    with pytest.raises(WorkloadError):
+        _kernel().segment(99)
+
+
+def test_empty_phases_rejected():
+    with pytest.raises(WorkloadError):
+        KernelProfile(name="bad", phases=[], iterations=1)
+
+
+def test_zero_iterations_rejected():
+    with pytest.raises(WorkloadError):
+        _kernel(iterations=0)
+
+
+def test_with_iterations():
+    scaled = _kernel(iterations=1).with_iterations(10)
+    assert scaled.iterations == 10
+    assert scaled.name == "test.kernel"
+
+
+def test_cursor_advances_through_segments():
+    cursor = KernelCursor(_kernel(iterations=1))
+    consumed = cursor.advance(1000)
+    assert consumed == pytest.approx(1000)
+    assert cursor.segment_index == 1
+    assert cursor.current_phase.name == "b"
+
+
+def test_cursor_partial_advance():
+    cursor = KernelCursor(_kernel())
+    cursor.advance(250.5)
+    assert cursor.segment_index == 0
+    assert cursor.instructions_done == pytest.approx(250.5)
+    assert cursor.instructions_remaining_in_segment == pytest.approx(749.5)
+
+
+def test_cursor_finishes():
+    kernel = _kernel(iterations=2)
+    cursor = KernelCursor(kernel)
+    consumed = cursor.advance(kernel.total_instructions)
+    assert consumed == pytest.approx(kernel.total_instructions)
+    assert cursor.finished
+
+
+def test_cursor_overrun_consumes_only_what_exists():
+    kernel = _kernel(iterations=1)
+    cursor = KernelCursor(kernel)
+    consumed = cursor.advance(kernel.total_instructions + 500)
+    assert consumed == pytest.approx(kernel.total_instructions)
+    assert cursor.finished
+
+
+def test_finished_cursor_raises_on_phase_access():
+    kernel = _kernel(iterations=1)
+    cursor = KernelCursor(kernel)
+    cursor.advance(kernel.total_instructions)
+    with pytest.raises(WorkloadError):
+        _ = cursor.current_phase
+
+
+def test_negative_advance_rejected():
+    with pytest.raises(WorkloadError):
+        KernelCursor(_kernel()).advance(-1)
+
+
+def test_global_instructions_done_tracks_cross_segment():
+    cursor = KernelCursor(_kernel(iterations=2))
+    cursor.advance(1700)  # a(1000) + b(500) + 200 of second a
+    assert cursor.global_instructions_done == pytest.approx(1700)
+
+
+def test_skew_advances_cursor_at_construction():
+    cursor = KernelCursor(_kernel(), skew_instructions=100)
+    assert cursor.global_instructions_done == pytest.approx(100)
+
+
+def test_clone_is_independent():
+    cursor = KernelCursor(_kernel())
+    cursor.advance(300)
+    copy = cursor.clone()
+    cursor.advance(500)
+    assert copy.global_instructions_done == pytest.approx(300)
+    assert cursor.global_instructions_done == pytest.approx(800)

@@ -1,0 +1,143 @@
+"""Dense layers: forward, backward (numerical gradients), masks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.layers import Dense
+
+
+def _layer(fan_in=4, fan_out=3, activation="relu", seed=0):
+    return Dense(fan_in, fan_out, activation=activation,
+                 rng=np.random.default_rng(seed))
+
+
+def test_forward_shape():
+    layer = _layer()
+    out = layer.forward(np.ones((5, 4)))
+    assert out.shape == (5, 3)
+
+
+def test_relu_clips_negative():
+    layer = _layer(activation="relu")
+    layer.weights = -np.ones_like(layer.weights)
+    layer.bias[:] = 0.0
+    out = layer.forward(np.ones((2, 4)))
+    assert np.all(out == 0.0)
+
+
+def test_linear_passes_negative():
+    layer = _layer(activation="linear")
+    layer.weights = -np.ones_like(layer.weights)
+    out = layer.forward(np.ones((2, 4)))
+    assert np.all(out < 0.0)
+
+
+def test_bad_input_shape_rejected():
+    with pytest.raises(ModelError):
+        _layer().forward(np.ones((5, 7)))
+
+
+def test_unknown_activation_rejected():
+    with pytest.raises(ModelError):
+        Dense(3, 3, activation="tanh")
+
+
+def test_backward_before_forward_rejected():
+    with pytest.raises(ModelError):
+        _layer().backward(np.ones((5, 3)))
+
+
+def test_numerical_gradient_weights():
+    """Backprop gradient must match finite differences."""
+    rng = np.random.default_rng(3)
+    layer = _layer(activation="relu", seed=3)
+    x = rng.normal(size=(6, 4))
+    upstream = rng.normal(size=(6, 3))
+
+    layer.forward(x, train=True)
+    layer.backward(upstream)
+    analytic = layer.grad_weights.copy()
+
+    eps = 1e-6
+    for i in range(4):
+        for j in range(3):
+            layer.weights[i, j] += eps
+            plus = float((layer.forward(x) * upstream).sum())
+            layer.weights[i, j] -= 2 * eps
+            minus = float((layer.forward(x) * upstream).sum())
+            layer.weights[i, j] += eps
+            numeric = (plus - minus) / (2 * eps)
+            assert analytic[i, j] == pytest.approx(numeric, abs=1e-4)
+
+
+def test_numerical_gradient_input():
+    rng = np.random.default_rng(4)
+    layer = _layer(activation="linear", seed=4)
+    x = rng.normal(size=(2, 4))
+    upstream = rng.normal(size=(2, 3))
+    layer.forward(x, train=True)
+    grad_x = layer.backward(upstream)
+    eps = 1e-6
+    for n in range(2):
+        for i in range(4):
+            x_mod = x.copy()
+            x_mod[n, i] += eps
+            plus = float((layer.forward(x_mod) * upstream).sum())
+            x_mod[n, i] -= 2 * eps
+            minus = float((layer.forward(x_mod) * upstream).sum())
+            numeric = (plus - minus) / (2 * eps)
+            assert grad_x[n, i] == pytest.approx(numeric, abs=1e-4)
+
+
+def test_mask_zeroes_weights_in_forward():
+    layer = _layer(activation="linear")
+    layer.mask[:] = 0.0
+    out = layer.forward(np.ones((2, 4)))
+    assert np.all(out == layer.bias)
+
+
+def test_mask_blocks_gradients():
+    layer = _layer()
+    layer.mask[0, 0] = 0.0
+    layer.forward(np.ones((2, 4)), train=True)
+    layer.backward(np.ones((2, 3)))
+    assert layer.grad_weights[0, 0] == 0.0
+
+
+def test_remove_output_units():
+    layer = _layer(fan_in=4, fan_out=5)
+    layer.remove_output_units([1, 3])
+    assert layer.fan_out == 3
+    assert layer.bias.shape == (3,)
+
+
+def test_remove_all_outputs_rejected():
+    layer = _layer(fan_in=4, fan_out=2)
+    with pytest.raises(ModelError):
+        layer.remove_output_units([0, 1])
+
+
+def test_remove_input_units():
+    layer = _layer(fan_in=4, fan_out=3)
+    layer.remove_input_units([0])
+    assert layer.fan_in == 3
+
+
+def test_clone_is_deep():
+    layer = _layer()
+    copy = layer.clone()
+    copy.weights[0, 0] = 99.0
+    assert layer.weights[0, 0] != 99.0
+
+
+def test_num_active_weights_tracks_mask():
+    layer = _layer(fan_in=4, fan_out=3)
+    assert layer.num_active_weights == 12
+    layer.mask[0, :] = 0.0
+    assert layer.num_active_weights == 9
+
+
+def test_zero_dim_rejected():
+    with pytest.raises(ModelError):
+        Dense(0, 3)

@@ -1,0 +1,99 @@
+"""Trainer extras: weight decay, gradient clipping, LR schedule."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn.mlp import MLP
+from repro.nn.trainer import TrainConfig, _clip_gradients, train_regressor
+
+
+def _data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    y = x @ np.array([1.0, -1.0, 0.5])
+    return x, y
+
+
+def test_config_validation_extras():
+    with pytest.raises(TrainingError):
+        TrainConfig(weight_decay=-0.1)
+    with pytest.raises(TrainingError):
+        TrainConfig(gradient_clip=-1.0)
+    with pytest.raises(TrainingError):
+        TrainConfig(lr_decay=0.0)
+    with pytest.raises(TrainingError):
+        TrainConfig(lr_decay=1.5)
+    with pytest.raises(TrainingError):
+        TrainConfig(lr_step=-1)
+
+
+def test_weight_decay_shrinks_weight_norm():
+    x, y = _data()
+    norms = {}
+    for decay in (0.0, 0.05):
+        model = MLP([3, 16, 1], rng=np.random.default_rng(1))
+        train_regressor(model, x, y, TrainConfig(
+            epochs=40, patience=40, weight_decay=decay, seed=1))
+        norms[decay] = float(np.abs(model.all_weights()).sum())
+    assert norms[0.05] < norms[0.0]
+
+
+def test_weight_decay_still_learns():
+    x, y = _data()
+    model = MLP([3, 16, 1], rng=np.random.default_rng(2))
+    train_regressor(model, x, y, TrainConfig(
+        epochs=60, patience=60, weight_decay=1e-4, seed=2))
+    pred = model.predict_scalar(x)
+    assert np.mean((pred - y) ** 2) / np.var(y) < 0.1
+
+
+def test_gradient_clipping_scales_global_norm():
+    model = MLP([3, 4, 1], rng=np.random.default_rng(3))
+    for layer in model.layers:
+        layer.grad_weights = np.ones_like(layer.weights) * 10.0
+        layer.grad_bias = np.ones_like(layer.bias) * 10.0
+    _clip_gradients(model, max_norm=1.0)
+    total = sum(float((l.grad_weights ** 2).sum())
+                + float((l.grad_bias ** 2).sum()) for l in model.layers)
+    assert np.sqrt(total) == pytest.approx(1.0)
+
+
+def test_gradient_clipping_noop_below_threshold():
+    model = MLP([3, 4, 1], rng=np.random.default_rng(4))
+    for layer in model.layers:
+        layer.grad_weights = np.full_like(layer.weights, 1e-4)
+        layer.grad_bias = np.full_like(layer.bias, 1e-4)
+    before = model.layers[0].grad_weights.copy()
+    _clip_gradients(model, max_norm=100.0)
+    assert np.allclose(model.layers[0].grad_weights, before)
+
+
+def test_training_with_clipping_converges():
+    x, y = _data()
+    model = MLP([3, 16, 1], rng=np.random.default_rng(5))
+    train_regressor(model, x, y, TrainConfig(
+        epochs=60, patience=60, gradient_clip=1.0, seed=5))
+    pred = model.predict_scalar(x)
+    assert np.mean((pred - y) ** 2) / np.var(y) < 0.15
+
+
+def test_lr_schedule_reduces_learning_rate():
+    """After training with a step schedule the optimizer's LR shrank."""
+    from repro.nn.trainer import _make_optimizer, fit
+    from repro.nn.losses import MeanSquaredError
+    x, y = _data(n=80)
+    model = MLP([3, 8, 1], rng=np.random.default_rng(6))
+    config = TrainConfig(epochs=10, patience=10, lr_step=3, lr_decay=0.5,
+                         learning_rate=1e-2, seed=6)
+    # fit() constructs its own optimizer internally; verify behaviourally:
+    # a decayed schedule must change the final model versus no schedule.
+    model_sched = model.clone()
+    fit(model_sched, x, y[:, None] if y.ndim == 1 else y,
+        MeanSquaredError(), config)
+    model_plain = model.clone()
+    fit(model_plain, x, y[:, None] if y.ndim == 1 else y,
+        MeanSquaredError(),
+        TrainConfig(epochs=10, patience=10, learning_rate=1e-2, seed=6))
+    assert not np.allclose(model_sched.layers[0].weights,
+                           model_plain.layers[0].weights)

@@ -1,0 +1,90 @@
+"""AR(1) jitter and workload-position-indexed noise."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.noise import AR1Jitter, WorkloadNoise
+from repro.rng import stream
+
+
+def test_ar1_zero_sigma_is_constant_one():
+    jitter = AR1Jitter(stream("j", 1), sigma=0.0)
+    assert all(jitter.step() == 1.0 for _ in range(10))
+
+
+def test_ar1_stays_clipped():
+    jitter = AR1Jitter(stream("j", 1), sigma=0.5, clip=0.3)
+    values = [jitter.step() for _ in range(500)]
+    assert min(values) >= 0.7
+    assert max(values) <= 1.3
+
+
+def test_ar1_mean_reverts_to_one():
+    jitter = AR1Jitter(stream("j", 2), sigma=0.05, rho=0.8)
+    values = [jitter.step() for _ in range(5000)]
+    assert np.mean(values) == pytest.approx(1.0, abs=0.02)
+
+
+def test_ar1_snapshot_restore_replays():
+    jitter = AR1Jitter(stream("j", 3), sigma=0.1)
+    for _ in range(7):
+        jitter.step()
+    state = jitter.state()
+    first = [jitter.step() for _ in range(5)]
+    jitter.restore(state)
+    second = [jitter.step() for _ in range(5)]
+    assert first == second
+
+
+def test_ar1_rejects_bad_params():
+    with pytest.raises(SimulationError):
+        AR1Jitter(stream("j", 1), sigma=-0.1)
+    with pytest.raises(SimulationError):
+        AR1Jitter(stream("j", 1), sigma=0.1, rho=1.0)
+    with pytest.raises(SimulationError):
+        AR1Jitter(stream("j", 1), sigma=0.1, clip=1.5)
+
+
+def test_workload_noise_is_position_deterministic():
+    a = WorkloadNoise(stream("n", 1), sigma=0.1)
+    b = WorkloadNoise(stream("n", 1), sigma=0.1)
+    # Query in different orders; values must agree chunk-by-chunk.
+    vals_a = [a.multipliers(k) for k in (5, 0, 3, 5)]
+    vals_b = [b.multipliers(k) for k in (0, 5, 5, 3)]
+    assert vals_a[0] == vals_b[1] == vals_b[2] == vals_a[3]
+    assert vals_a[1] == vals_b[0]
+
+
+def test_workload_noise_zero_sigma():
+    noise = WorkloadNoise(stream("n", 1), sigma=0.0)
+    assert noise.multipliers(100) == (1.0, 1.0, 1.0)
+
+
+def test_workload_noise_chunk_mapping():
+    noise = WorkloadNoise(stream("n", 1), sigma=0.1, chunk_instructions=1000)
+    assert noise.chunk_of(0) == 0
+    assert noise.chunk_of(999.5) == 0
+    assert noise.chunk_of(1000) == 1
+    assert noise.chunk_end(0) == 1000.0
+
+
+def test_workload_noise_multipliers_positive():
+    noise = WorkloadNoise(stream("n", 2), sigma=0.2)
+    for k in range(200):
+        for m in noise.multipliers(k):
+            assert m > 0
+
+
+def test_workload_noise_negative_chunk_rejected():
+    noise = WorkloadNoise(stream("n", 1), sigma=0.1)
+    with pytest.raises(SimulationError):
+        noise.multipliers(-1)
+
+
+def test_workload_noise_tracks_are_independent():
+    noise = WorkloadNoise(stream("n", 3), sigma=0.2)
+    triples = [noise.multipliers(k) for k in range(50)]
+    warp = [t[0] for t in triples]
+    miss = [t[1] for t in triples]
+    assert warp != miss

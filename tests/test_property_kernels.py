@@ -1,0 +1,74 @@
+"""Property-based tests: kernel cursors and random kernel generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.kernels import KernelCursor
+from repro.workloads.generator import random_kernel, random_phase, random_suite
+
+
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_random_phase_is_always_valid(seed):
+    """The generator must only ever produce validating phases."""
+    phase = random_phase(np.random.default_rng(seed))
+    assert sum(phase.mix.values()) == pytest.approx(1.0)
+    assert phase.cpi_exec >= 1.0
+    assert 0.0 <= phase.l1_miss_rate <= 1.0
+
+
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_random_kernel_is_always_valid(seed):
+    kernel = random_kernel(np.random.default_rng(seed))
+    assert kernel.total_instructions > 0
+    assert kernel.num_segments == len(kernel.phases) * kernel.iterations
+
+
+@given(st.integers(0, 2 ** 31 - 1),
+       st.lists(st.floats(0.5, 50_000.0), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_cursor_chunked_advance_equals_single_advance(seed, chunks):
+    """Advancing in arbitrary chunks lands at the same position as one
+    big advance — segment-boundary bookkeeping must be exact."""
+    kernel = random_kernel(np.random.default_rng(seed))
+    total = float(sum(chunks))
+    chunked = KernelCursor(kernel)
+    for chunk in chunks:
+        chunked.advance(chunk)
+    single = KernelCursor(kernel)
+    single.advance(total)
+    assert chunked.global_instructions_done == pytest.approx(
+        single.global_instructions_done, rel=1e-9, abs=1e-6)
+    assert chunked.segment_index == single.segment_index
+
+
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_cursor_consumes_exactly_total(seed):
+    kernel = random_kernel(np.random.default_rng(seed))
+    cursor = KernelCursor(kernel)
+    consumed = cursor.advance(kernel.total_instructions * 2.0)
+    assert consumed == pytest.approx(kernel.total_instructions)
+    assert cursor.finished
+
+
+@given(st.integers(0, 2 ** 31 - 1), st.floats(0.0, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_cursor_clone_divergence(seed, fraction):
+    kernel = random_kernel(np.random.default_rng(seed))
+    cursor = KernelCursor(kernel)
+    cursor.advance(kernel.total_instructions * fraction)
+    clone = cursor.clone()
+    cursor.advance(1_000.0)
+    assert clone.global_instructions_done <= cursor.global_instructions_done
+
+
+def test_random_suite_deterministic():
+    a = random_suite(seed=5, count=4)
+    b = random_suite(seed=5, count=4)
+    assert [k.total_instructions for k in a] == [
+        k.total_instructions for k in b]
+    assert [k.name for k in a] == [k.name for k in b]

@@ -1,0 +1,53 @@
+"""Combined report generation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.evaluation.report import _RESULT_FILES, build_report, write_report
+from repro.evaluation.registry import all_experiments
+
+
+def test_every_registered_artefact_has_a_results_mapping():
+    ids = {e.experiment_id for e in all_experiments()}
+    # Every artefact-producing experiment must map to a results file.
+    assert set(_RESULT_FILES) <= ids
+    paper_ids = {e.experiment_id for e in all_experiments()
+                 if not e.extension}
+    assert paper_ids <= set(_RESULT_FILES)
+
+
+def test_missing_results_dir_rejected(tmp_path):
+    with pytest.raises(ReproError):
+        build_report(tmp_path / "missing")
+
+
+def test_report_with_partial_results(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "table2_model.txt").write_text("TABLE2 CONTENT\n")
+    report = build_report(results)
+    assert "TABLE2 CONTENT" in report
+    assert "not yet measured" in report  # others are missing
+    assert "paper claim" in report
+
+
+def test_write_report(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "fig4_edp_latency.txt").write_text("FIG4\n")
+    out = write_report(results, tmp_path / "sub" / "REPORT.md")
+    assert out.exists()
+    text = out.read_text()
+    assert text.startswith("# SSMDVFS reproduction report")
+    assert "FIG4" in text
+
+
+def test_cli_report_command(tmp_path, capsys):
+    from repro.cli import main
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "hw_asic.txt").write_text("HW\n")
+    out = tmp_path / "REPORT.md"
+    assert main(["report", "--results", str(results),
+                 "--out", str(out)]) == 0
+    assert out.exists()

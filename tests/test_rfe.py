@@ -1,0 +1,81 @@
+"""Recursive feature elimination (Table I machinery)."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.datagen.rfe import RFESelector
+from repro.gpu.counters import paper_category
+from repro.nn.trainer import TrainConfig
+
+
+@pytest.fixture(scope="module")
+def rfe_result(small_dataset, small_arch):
+    candidates = (
+        "ipc", "inst_total", "frac_mem", "frac_branch", "occupancy",
+        "stall_mem_hazard", "stall_mem_hazard_nonload", "stall_control",
+        "l1_read_miss", "l1_read_miss_rate", "avg_mem_latency",
+        "bandwidth_utilization",
+    )
+    selector = RFESelector(
+        small_dataset, small_arch.issue_width, candidates=candidates,
+        target_count=3, seed=5,
+        train_config=TrainConfig(epochs=25, patience=6, learning_rate=3e-3,
+                                 seed=5))
+    return selector.run()
+
+
+def test_selects_target_count(rfe_result):
+    assert len(rfe_result.selected) == 3
+
+
+def test_always_keep_present(rfe_result):
+    assert "power_per_core" in rfe_result.all_features
+    assert len(rfe_result.all_features) == 4
+
+
+def test_rounds_shrink_monotonically(rfe_result):
+    sizes = [len(r.features) for r in rfe_result.rounds]
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes[-1] == 3
+
+
+def test_eliminated_features_were_least_important(rfe_result):
+    for round_ in rfe_result.rounds[:-1]:
+        if not round_.eliminated:
+            continue
+        kept = [n for n in round_.features if n not in round_.eliminated]
+        worst_kept = min(round_.importances[n] for n in kept)
+        best_dropped = max(round_.importances[n] for n in round_.eliminated)
+        assert best_dropped <= worst_kept + 1e-12
+
+
+def test_accuracy_survives_refinement(rfe_result):
+    """Paper: only a 0.48 pp accuracy drop after RFE; allow slack here."""
+    assert rfe_result.selected_accuracy >= rfe_result.full_accuracy - 0.10
+
+
+def test_selected_features_cover_informative_categories(rfe_result):
+    """The selection must include stall/instruction signal, not noise."""
+    categories = {paper_category(n) for n in rfe_result.selected}
+    assert "stall" in categories or "instruction" in categories
+
+
+def test_validation():
+    class Dummy:
+        pass
+
+    with pytest.raises(DatasetError):
+        # Fewer candidates than targets.
+        RFESelector(Dummy(), 4.0, candidates=("ipc",), target_count=2)
+    with pytest.raises(DatasetError):
+        # Candidate overlaps the always-keep set.
+        RFESelector(Dummy(), 4.0, candidates=("ipc", "power_per_core"),
+                    target_count=1)
+    with pytest.raises(DatasetError):
+        # Zero targets.
+        RFESelector(Dummy(), 4.0, candidates=("ipc", "frac_mem"),
+                    target_count=0)
+    with pytest.raises(DatasetError):
+        # Bad drop fraction.
+        RFESelector(Dummy(), 4.0, candidates=("ipc", "frac_mem"),
+                    target_count=1, drop_fraction=1.0)

@@ -1,0 +1,47 @@
+"""Deterministic named RNG streams."""
+
+from repro.rng import DEFAULT_SEED, StreamFactory, stream
+
+
+def test_same_name_same_stream():
+    a = stream("alpha", seed=42)
+    b = stream("alpha", seed=42)
+    assert a.random(5).tolist() == b.random(5).tolist()
+
+
+def test_different_names_differ():
+    a = stream("alpha", seed=42)
+    b = stream("beta", seed=42)
+    assert a.random(5).tolist() != b.random(5).tolist()
+
+
+def test_different_seeds_differ():
+    a = stream("alpha", seed=1)
+    b = stream("alpha", seed=2)
+    assert a.random(5).tolist() != b.random(5).tolist()
+
+
+def test_factory_get_is_reproducible():
+    factory = StreamFactory(seed=7)
+    first = factory.get("jitter").random(3).tolist()
+    second = factory.get("jitter").random(3).tolist()
+    assert first == second
+
+
+def test_factory_default_seed():
+    assert StreamFactory().seed == DEFAULT_SEED
+
+
+def test_child_factory_is_namespaced():
+    parent = StreamFactory(seed=7)
+    child_a = parent.child("a")
+    child_b = parent.child("b")
+    assert child_a.seed != child_b.seed
+    assert (child_a.get("x").random(3).tolist()
+            != child_b.get("x").random(3).tolist())
+
+
+def test_child_factory_deterministic():
+    a = StreamFactory(seed=7).child("sub").get("x").random(4).tolist()
+    b = StreamFactory(seed=7).child("sub").get("x").random(4).tolist()
+    assert a == b

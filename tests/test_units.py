@@ -1,0 +1,35 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_us_round_trip():
+    assert units.to_us(units.us(10.0)) == pytest.approx(10.0)
+
+
+def test_ns_round_trip():
+    assert units.to_ns(units.ns(320.0)) == pytest.approx(320.0)
+
+
+def test_mhz_round_trip():
+    assert units.to_mhz(units.mhz(1165.0)) == pytest.approx(1165.0)
+
+
+def test_ghz_is_1000_mhz():
+    assert units.ghz(1.0) == pytest.approx(units.mhz(1000.0))
+
+
+def test_cycles_to_seconds():
+    # 1165 cycles at 1165 MHz is exactly one microsecond.
+    assert units.cycles_to_seconds(1165.0, units.mhz(1165)) == pytest.approx(units.us(1))
+
+
+def test_seconds_to_cycles_inverse():
+    f = units.mhz(878)
+    assert units.seconds_to_cycles(units.cycles_to_seconds(5000, f), f) == pytest.approx(5000)
+
+
+def test_us_of_zero():
+    assert units.us(0.0) == 0.0
