@@ -1,0 +1,27 @@
+# Developer / CI entry points.
+#
+# `test-fast` is the tier-1 gate: the full unit suite minus tests marked
+# `slow` (per-cycle simulation windows).  `bench-smoke` exercises the
+# simulator-throughput and parallel-campaign benchmarks once without
+# timing repetition, so the process-pool fan-out path runs in CI without
+# slowing the gate down.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast test-slow bench-smoke bench
+
+test-fast:
+	$(PYTHON) -m pytest -q -m "not slow"
+
+test:
+	$(PYTHON) -m pytest -q
+
+test-slow:
+	$(PYTHON) -m pytest -q -m slow
+
+bench-smoke:
+	$(PYTHON) -m pytest -q benchmarks/bench_sim_throughput.py --benchmark-disable
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -4,10 +4,52 @@ Times one 10 us DVFS epoch of the 24-cluster GTX Titan X simulator
 (interval model, all counters, power).  This bounds every other
 experiment's runtime: a Fig. 4 campaign simulates tens of thousands of
 these epochs.
+
+Also times the campaign layer itself: a small data-generation campaign
+run serially and through the process-pool fan-out, so parallel
+speedups (and regression of the fan-out overhead) are measurable.
 """
 
+import numpy as np
+
+from repro.datagen.dataset import DVFSDataset
+from repro.datagen.protocol import ProtocolConfig, generate_chunks_for_suite
+from repro.gpu.arch import small_test_config
+from repro.gpu.kernels import KernelProfile
+from repro.gpu.phases import balanced_phase, compute_phase, memory_phase
 from repro.gpu.simulator import GPUSimulator
+from repro.parallel import CampaignStats
 from repro.workloads.suites import kernel_by_name
+
+CAMPAIGN_CFG = ProtocolConfig(max_breakpoints_per_kernel=2, seed=7)
+
+
+def _campaign_suite():
+    return [
+        KernelProfile("bench.compute",
+                      [compute_phase("c", 120_000, warps=16)],
+                      iterations=6, jitter=0.05),
+        KernelProfile("bench.memory",
+                      [memory_phase("m", 120_000, warps=40, l1_miss=0.8,
+                                    l2_miss=0.7)],
+                      iterations=6, jitter=0.05),
+        KernelProfile("bench.balanced", [balanced_phase("b", 120_000)],
+                      iterations=6, jitter=0.05),
+        KernelProfile("bench.mixed",
+                      [compute_phase("c", 80_000, warps=20),
+                       memory_phase("m", 80_000, warps=40)],
+                      iterations=5, jitter=0.06),
+    ]
+
+
+def _run_campaign(workers):
+    arch = small_test_config(num_clusters=2)
+    stats = CampaignStats()
+    chunks = generate_chunks_for_suite(_campaign_suite(), arch,
+                                       config=CAMPAIGN_CFG, workers=workers,
+                                       stats=stats)
+    return DVFSDataset.from_breakpoint_chunks(chunks, workers=workers,
+                                              stats=stats)
 
 
 def test_epoch_step_throughput(arch, benchmark):
@@ -17,3 +59,16 @@ def test_epoch_step_throughput(arch, benchmark):
     record = benchmark(simulator.step_epoch)
     assert record.instructions > 0
     assert len(record.cluster_counters) == arch.num_clusters
+
+
+def test_campaign_serial_throughput(benchmark):
+    dataset = benchmark.pedantic(_run_campaign, args=(1,), rounds=2,
+                                 iterations=1)
+    assert dataset.num_samples > 0
+
+
+def test_campaign_parallel_throughput(benchmark):
+    dataset = benchmark.pedantic(_run_campaign, args=(2,), rounds=2,
+                                 iterations=1)
+    serial = _run_campaign(1)
+    assert np.array_equal(dataset.counters, serial.counters)

@@ -12,7 +12,7 @@ under ``.cache/`` for subsequent runs.
 
 Usage::
 
-    python examples/full_pipeline.py [--fast]
+    python examples/full_pipeline.py [--fast] [--workers N] [--stats]
 """
 
 import argparse
@@ -24,6 +24,7 @@ from repro.datagen import ProtocolConfig, cached_dataset
 from repro.nn.trainer import TrainConfig
 from repro.core import PipelineConfig, build_from_dataset
 from repro.evaluation import run_table1, run_table2
+from repro.parallel import CampaignStats
 
 
 def main():
@@ -34,17 +35,29 @@ def main():
                         help="dataset cache directory")
     parser.add_argument("--out", default="artifacts",
                         help="output directory for model artefacts")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for data generation "
+                             "(1 = serial, 0 = all cores)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print campaign timings and cache counters")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="regenerate the dataset even if cached")
     args = parser.parse_args()
 
     arch = titan_x_config()
     breakpoints = 4 if args.fast else 10
     protocol = ProtocolConfig(max_breakpoints_per_kernel=breakpoints, seed=3)
+    stats = CampaignStats()
 
     print(f"1. data generation ({len(training_suite())} kernels, "
           f"{breakpoints} breakpoints each; cached in {args.cache}/)...")
-    dataset = cached_dataset(args.cache, training_suite(), arch, protocol)
+    dataset = cached_dataset(args.cache, training_suite(), arch, protocol,
+                             workers=args.workers, stats=stats,
+                             use_cache=not args.no_cache)
     print(f"   {dataset.num_groups} breakpoints, "
           f"{dataset.num_samples} samples")
+    if args.stats:
+        print(stats.render())
 
     print("2. feature selection (RFE, Table I)...")
     table1 = run_table1(dataset, arch, seed=3)

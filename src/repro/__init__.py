@@ -14,9 +14,9 @@ paper-vs-measured results.
 __version__ = "1.0.0"
 
 from . import (baselines, core, datagen, evaluation, gpu, hardware,  # noqa: F401
-               nn, power, workloads)
+               nn, parallel, power, workloads)
 
 __all__ = [
     "baselines", "core", "datagen", "evaluation", "gpu", "hardware", "nn",
-    "power", "workloads", "__version__",
+    "parallel", "power", "workloads", "__version__",
 ]

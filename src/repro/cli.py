@@ -28,6 +28,7 @@ from .core.controller import SSMDVFSController
 from .core.pipeline import PipelineConfig, build_from_dataset
 from .evaluation.experiments import run_fig4, run_hardware, run_table1
 from .evaluation.export import export_fig4_json
+from .parallel import CampaignStats
 from .units import us
 from .workloads.suites import (evaluation_suite, full_suite,
                                scale_kernel_to_duration, training_suite)
@@ -47,9 +48,17 @@ def _protocol(args) -> ProtocolConfig:
                           seed=args.seed)
 
 
-def _dataset(args):
+def _dataset(args, stats: CampaignStats | None = None):
     return cached_dataset(args.cache, training_suite(), _arch(args),
-                          _protocol(args))
+                          _protocol(args),
+                          workers=getattr(args, "workers", None),
+                          stats=stats,
+                          use_cache=not getattr(args, "no_cache", False))
+
+
+def _print_stats(args, stats: CampaignStats) -> None:
+    if getattr(args, "stats", False):
+        print(stats.render())
 
 
 # ---------------------------------------------------------------------------
@@ -86,24 +95,29 @@ def cmd_suites(args) -> int:
 
 def cmd_datagen(args) -> int:
     """Generate (or load) the cached training dataset."""
-    dataset = _dataset(args)
+    stats = CampaignStats()
+    dataset = _dataset(args, stats)
     print(f"dataset ready: {dataset.num_groups} breakpoints, "
           f"{dataset.num_breakpoints} records, "
           f"{dataset.num_samples} samples (cache: {args.cache})")
+    _print_stats(args, stats)
     return 0
 
 
 def cmd_stats(args) -> int:
     """Print dataset diagnostics."""
-    report = analyze_dataset(_dataset(args), preset=args.preset)
+    stats = CampaignStats()
+    report = analyze_dataset(_dataset(args, stats), preset=args.preset)
     print(report.render())
+    _print_stats(args, stats)
     return 0
 
 
 def cmd_train(args) -> int:
     """Run the offline build and save model artefacts."""
     arch = _arch(args)
-    dataset = _dataset(args)
+    stats = CampaignStats()
+    dataset = _dataset(args, stats)
     if args.features == "rfe":
         table1 = run_table1(dataset, arch, seed=args.seed)
         print(table1.render())
@@ -124,6 +138,7 @@ def cmd_train(args) -> int:
         print(f"{variant:10s} acc={meta['accuracy_pct']:.1f}% "
               f"mape={meta['mape_pct']:.2f}% "
               f"flops={meta['flops_sparse']} -> {out / variant}")
+    _print_stats(args, stats)
     return 0
 
 
@@ -133,12 +148,17 @@ def cmd_evaluate(args) -> int:
     model = SSMDVFSModel.load(args.model)
     kernels = [scale_kernel_to_duration(k, arch, args.duration_us * 1e-6)
                for k in evaluation_suite()[:args.kernels]]
+    stats = CampaignStats()
     result = run_fig4({"base": model}, kernels, arch,
-                      presets=tuple(args.preset), seed=args.seed)
+                      presets=tuple(args.preset), seed=args.seed,
+                      workers=args.workers, stats=stats,
+                      cache_dir=args.cache,
+                      use_cache=not args.no_cache)
     print(result.render())
     if args.export:
         export_fig4_json(result, args.export)
         print(f"exported -> {args.export}")
+    _print_stats(args, stats)
     return 0
 
 
@@ -191,6 +211,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=3)
         p.add_argument("--small", action="store_true",
                        help="use the reduced 2-cluster test GPU")
+        p.add_argument("--workers", type=int, default=1,
+                       help="process-pool size for campaign fan-out "
+                            "(1 = serial, 0 = all cores)")
+        p.add_argument("--stats", action="store_true",
+                       help="print campaign timings and cache counters")
+        p.add_argument("--no-cache", action="store_true",
+                       help="ignore cached artefacts and regenerate "
+                            "(the fresh result still refreshes the cache)")
         if cache:
             p.add_argument("--cache", default=".cache")
             p.add_argument("--breakpoints", type=int, default=10)
@@ -227,6 +255,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("evaluate", help="Fig. 4 comparison")
     common(p, cache=False)
+    p.add_argument("--cache", default=".cache",
+                   help="evaluation-grid cache directory")
     p.add_argument("--model", required=True)
     p.add_argument("--kernels", type=int, default=14)
     p.add_argument("--preset", type=float, nargs="+", default=[0.10])

@@ -1,9 +1,17 @@
-"""Dataset caching.
+"""Content-addressed on-disk caching for campaign artefacts.
 
 Data generation is the expensive offline stage (it simulates every
 training kernel seven times per breakpoint), so examples, tests and
 benchmarks share generated datasets through an on-disk cache keyed by
-the generation parameters.
+the generation parameters.  The key scheme is content-addressed: a
+SHA-256 over the canonical JSON of everything that determines the
+artefact — the :class:`ProtocolConfig` knobs, the architecture, the
+kernel-suite fingerprint and the seed — so repeat invocations from the
+CLI, ``examples/full_pipeline.py`` and the benchmarks hit disk instead
+of re-simulating, while any parameter change lands on a fresh key.
+
+The same helpers back the evaluation-grid cache in
+:mod:`repro.evaluation.cache`.
 """
 
 from __future__ import annotations
@@ -14,18 +22,32 @@ from pathlib import Path
 
 from ..gpu.arch import GPUArchConfig
 from ..gpu.kernels import KernelProfile
+from ..parallel import CampaignStats
 from ..power.model import PowerModel
 from .dataset import DVFSDataset
-from .protocol import ProtocolConfig, generate_for_suite
+from .protocol import ProtocolConfig, generate_chunks_for_suite
+
+
+def content_key(payload: dict) -> str:
+    """SHA-256 fingerprint of a canonical-JSON payload (16 hex chars)."""
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def kernel_suite_fingerprint(kernels: list[KernelProfile]) -> dict:
+    """The parts of a kernel suite that determine simulation output."""
+    return {
+        "kernels": sorted(k.name for k in kernels),
+        "iterations": {k.name: k.iterations for k in kernels},
+        "instructions": {k.name: k.total_instructions for k in kernels},
+    }
 
 
 def dataset_cache_key(kernels: list[KernelProfile], arch: GPUArchConfig,
                       config: ProtocolConfig) -> str:
     """Stable fingerprint of a generation request."""
-    payload = json.dumps({
-        "kernels": sorted(k.name for k in kernels),
-        "iterations": {k.name: k.iterations for k in kernels},
-        "instructions": {k.name: k.total_instructions for k in kernels},
+    return content_key({
+        **kernel_suite_fingerprint(kernels),
         "arch": arch.name,
         "clusters": arch.num_clusters,
         "epoch_s": config.epoch_s,
@@ -33,22 +55,38 @@ def dataset_cache_key(kernels: list[KernelProfile], arch: GPUArchConfig,
         "max_breakpoints": config.max_breakpoints_per_kernel,
         "augment": config.augment_feature_levels,
         "seed": config.seed,
-    }, sort_keys=True)
-    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+    })
 
 
 def cached_dataset(cache_dir: str | Path, kernels: list[KernelProfile],
                    arch: GPUArchConfig,
                    config: ProtocolConfig | None = None,
-                   power_model: PowerModel | None = None) -> DVFSDataset:
-    """Load the dataset from cache, generating (and caching) on miss."""
+                   power_model: PowerModel | None = None, *,
+                   workers: int | None = None,
+                   stats: CampaignStats | None = None,
+                   use_cache: bool = True) -> DVFSDataset:
+    """Load the dataset from cache, generating (and caching) on miss.
+
+    ``workers`` fans generation and assembly out over a process pool;
+    ``stats`` records stage timings and the ``dataset_cache_hit`` /
+    ``dataset_cache_miss`` counters.  With ``use_cache=False`` any
+    cached artefact is ignored and regenerated (the fresh result still
+    refreshes the cache file).
+    """
     config = config or ProtocolConfig()
+    stats = stats if stats is not None else CampaignStats()
     cache_dir = Path(cache_dir)
     cache_dir.mkdir(parents=True, exist_ok=True)
     path = cache_dir / f"dvfs-{dataset_cache_key(kernels, arch, config)}.npz"
-    if path.exists():
-        return DVFSDataset.load(path)
-    breakpoints = generate_for_suite(kernels, arch, power_model, config)
-    dataset = DVFSDataset.from_breakpoints(breakpoints)
-    dataset.save(path)
+    if use_cache and path.exists():
+        stats.count("dataset_cache_hit")
+        with stats.stage("dataset_load", tasks=1):
+            return DVFSDataset.load(path)
+    stats.count("dataset_cache_miss")
+    chunks = generate_chunks_for_suite(kernels, arch, power_model, config,
+                                       workers=workers, stats=stats)
+    dataset = DVFSDataset.from_breakpoint_chunks(chunks, workers=workers,
+                                                 stats=stats)
+    with stats.stage("dataset_save", tasks=1):
+        dataset.save(path)
     return dataset

@@ -49,6 +49,7 @@ import numpy as np
 from ..errors import DatasetError
 from ..gpu.counters import COUNTER_NAMES, CounterSet
 from ..nn.compress import SplitData
+from ..parallel import CampaignStats, parallel_map
 from .features import FeatureExtractor, FeatureScaler
 from .protocol import BreakpointSamples
 
@@ -58,6 +59,11 @@ _INST_TOTAL_INDEX = COUNTER_NAMES.index("inst_total")
 #: Preset grid used to synthesise decision samples under the
 #: ``minimal`` labeling (fractions of allowed performance loss).
 DEFAULT_PRESET_GRID = (0.02, 0.05, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30)
+
+
+def _assemble_chunk(chunk: list[BreakpointSamples]) -> "DVFSDataset":
+    """Process-pool unit of dataset assembly (module-level: picklable)."""
+    return DVFSDataset.from_breakpoints(chunk)
 
 
 @dataclass
@@ -139,6 +145,55 @@ class DVFSDataset:
         return cls(np.stack(counter_rows), kernel_names, np.array(sample_bp),
                    np.array(levels), np.array(losses), np.array(instrs),
                    record_group=np.array(groups))
+
+    @classmethod
+    def merge(cls, datasets: list["DVFSDataset"]) -> "DVFSDataset":
+        """Concatenate per-chunk datasets into one.
+
+        Record indices and split groups are offset per chunk, so merging
+        the per-kernel datasets of a parallel campaign reproduces the
+        arrays :meth:`from_breakpoints` builds over the flattened
+        breakpoint list bit for bit.
+        """
+        if not datasets:
+            raise DatasetError("no datasets to merge")
+        if len(datasets) == 1:
+            return datasets[0]
+        counters, names = [], []
+        sample_bp, levels, losses, instrs, groups = [], [], [], [], []
+        row_offset = group_offset = 0
+        for dataset in datasets:
+            counters.append(dataset.counters)
+            names.extend(dataset.kernel_names)
+            sample_bp.append(dataset.sample_breakpoint + row_offset)
+            levels.append(dataset.sample_level)
+            losses.append(dataset.sample_loss)
+            instrs.append(dataset.sample_instructions)
+            groups.append(dataset.record_group + group_offset)
+            row_offset += dataset.counters.shape[0]
+            group_offset += int(dataset.record_group.max()) + 1
+        return cls(np.concatenate(counters), names,
+                   np.concatenate(sample_bp), np.concatenate(levels),
+                   np.concatenate(losses), np.concatenate(instrs),
+                   record_group=np.concatenate(groups))
+
+    @classmethod
+    def from_breakpoint_chunks(cls, chunks: list[list[BreakpointSamples]],
+                               workers: int | None = None,
+                               stats: CampaignStats | None = None
+                               ) -> "DVFSDataset":
+        """Assemble per-kernel breakpoint chunks into one dataset.
+
+        Each non-empty chunk is flattened independently (fanned out over
+        ``workers``) and the partial datasets merged, which equals
+        :meth:`from_breakpoints` over the concatenated chunks.
+        """
+        chunks = [list(chunk) for chunk in chunks if chunk]
+        if not chunks:
+            raise DatasetError("no breakpoints supplied")
+        datasets = parallel_map(_assemble_chunk, chunks, workers=workers,
+                                stats=stats, stage="assemble")
+        return cls.merge(datasets)
 
     @property
     def num_breakpoints(self) -> int:

@@ -31,6 +31,7 @@ from ..gpu.arch import GPUArchConfig
 from ..gpu.counters import CounterSet
 from ..gpu.kernels import KernelProfile
 from ..gpu.simulator import DEFAULT_EPOCH_S, GPUSimulator
+from ..parallel import CampaignStats, parallel_map
 from ..power.model import PowerModel
 
 
@@ -264,23 +265,63 @@ def scale_kernel_for_protocol(kernel: KernelProfile, arch: GPUArchConfig,
     return kernel.with_iterations(kernel.iterations * factor)
 
 
-def generate_for_suite(kernels: list[KernelProfile], arch: GPUArchConfig,
-                       power_model: PowerModel | None = None,
-                       config: ProtocolConfig | None = None,
-                       auto_scale: bool = True) -> list[BreakpointSamples]:
-    """Run the protocol over a full training suite.
+def _kernel_task(task: tuple) -> list[BreakpointSamples]:
+    """Process-pool unit of work: one kernel's breakpoint/V/f replays.
 
-    With ``auto_scale`` (default) kernels too short to host the
-    configured number of breakpoints are repeated until they fit.
+    Module-level so it pickles by reference; every task builds its own
+    simulator from the explicit config seed, so the output is identical
+    whether tasks run serially in-process or fanned out over workers.
+    """
+    kernel, arch, power_model, config = task
+    return generate_for_kernel(kernel, arch, power_model, config)
+
+
+def generate_chunks_for_suite(kernels: list[KernelProfile],
+                              arch: GPUArchConfig,
+                              power_model: PowerModel | None = None,
+                              config: ProtocolConfig | None = None,
+                              auto_scale: bool = True,
+                              workers: int | None = None,
+                              stats: CampaignStats | None = None
+                              ) -> list[list[BreakpointSamples]]:
+    """Run the protocol over a suite, one breakpoint chunk per kernel.
+
+    The per-kernel chunk is the parallel unit: breakpoints within a
+    kernel share simulator state (each reference segment starts where
+    the previous one ended) and must stay sequential, but kernels are
+    fully independent.  Chunk order follows the input suite order, so
+    flattening the chunks reproduces the serial output bit for bit.
     """
     if not kernels:
         raise DatasetError("no kernels given")
     config = config or ProtocolConfig()
-    results: list[BreakpointSamples] = []
+    tasks = []
     for kernel in kernels:
         if auto_scale:
             kernel = scale_kernel_for_protocol(kernel, arch, config)
-        results.extend(generate_for_kernel(kernel, arch, power_model, config))
-    if not results:
+        tasks.append((kernel, arch, power_model, config))
+    chunks = parallel_map(_kernel_task, tasks, workers=workers, stats=stats,
+                          stage="datagen")
+    if not any(chunks):
         raise DatasetError("no breakpoints generated; kernels too short?")
-    return results
+    return chunks
+
+
+def generate_for_suite(kernels: list[KernelProfile], arch: GPUArchConfig,
+                       power_model: PowerModel | None = None,
+                       config: ProtocolConfig | None = None,
+                       auto_scale: bool = True,
+                       workers: int | None = None,
+                       stats: CampaignStats | None = None
+                       ) -> list[BreakpointSamples]:
+    """Run the protocol over a full training suite.
+
+    With ``auto_scale`` (default) kernels too short to host the
+    configured number of breakpoints are repeated until they fit.
+    ``workers`` fans the per-kernel campaigns out over a process pool;
+    the result is bit-identical to the serial pass for a fixed seed.
+    """
+    chunks = generate_chunks_for_suite(kernels, arch, power_model, config,
+                                       auto_scale=auto_scale, workers=workers,
+                                       stats=stats)
+    return [bp for chunk in chunks for bp in chunk]

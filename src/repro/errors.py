@@ -44,6 +44,10 @@ class DatasetError(ReproError):
     """A dataset is empty, inconsistent, or incorrectly labelled."""
 
 
+class ParallelError(ReproError):
+    """The parallel campaign layer was configured inconsistently."""
+
+
 class PolicyError(ReproError):
     """A DVFS policy produced an out-of-range or malformed decision."""
 

@@ -1,10 +1,11 @@
 """Evaluation harness: runners, experiment drivers, reporting."""
 
+from .cache import cached_comparison, comparison_cache_key
 from .experiments import (Fig3Result, Fig4Result, HardwareResult,
                           Table1Result, Table2Result,
                           build_pipeline_for_experiments,
-                          fig4_policy_factories, run_fig3, run_fig4,
-                          run_hardware, run_table1, run_table2)
+                          fig4_cache_token, fig4_policy_factories, run_fig3,
+                          run_fig4, run_hardware, run_table1, run_table2)
 from .export import (export_comparison_csv, export_fig3_csv,
                      export_fig4_json, load_fig4_json)
 from .registry import (ExperimentEntry, all_experiments, get_experiment,
@@ -16,10 +17,11 @@ from .runner import (ComparisonResult, PolicyRun, compare_policies,
                      run_policy_on_kernel)
 
 __all__ = [
+    "cached_comparison", "comparison_cache_key",
     "Fig3Result", "Fig4Result", "HardwareResult", "Table1Result",
     "Table2Result", "build_pipeline_for_experiments",
-    "fig4_policy_factories", "run_fig3", "run_fig4", "run_hardware",
-    "run_table1", "run_table2",
+    "fig4_cache_token", "fig4_policy_factories", "run_fig3", "run_fig4",
+    "run_hardware", "run_table1", "run_table2",
     "export_comparison_csv", "export_fig3_csv", "export_fig4_json",
     "load_fig4_json",
     "ExperimentEntry", "all_experiments", "get_experiment",

@@ -1,0 +1,82 @@
+"""Content-addressed cache for evaluation campaigns.
+
+A Fig. 4 campaign re-simulates every (policy, kernel) pair of the grid;
+like dataset generation, the grid is deterministic given the policies,
+kernel suite, architecture, preset, seed and epoch length, so repeat
+invocations can load the :class:`ComparisonResult` from disk instead of
+re-running tens of thousands of epochs.
+
+Keys reuse the dataset cache's content-addressing scheme
+(:func:`repro.datagen.cache.content_key`).  Policy *behaviour* is not
+structurally hashable — a factory may close over a trained model — so
+callers identify it with the policy names plus an optional
+``cache_token`` (e.g. a hash of model metadata); change the token when
+the models behind the same names change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..datagen.cache import content_key, kernel_suite_fingerprint
+from ..gpu.arch import GPUArchConfig
+from ..gpu.kernels import KernelProfile
+from ..parallel import CampaignStats
+from ..power.model import PowerModel
+from ..units import us
+from .runner import ComparisonResult, compare_policies
+
+
+def comparison_cache_key(policy_names: list[str],
+                         kernels: list[KernelProfile], arch: GPUArchConfig,
+                         preset: float, seed: int = 0,
+                         epoch_s: float = us(10),
+                         cache_token: str | None = None) -> str:
+    """Stable fingerprint of one evaluation-grid request."""
+    return content_key({
+        **kernel_suite_fingerprint(kernels),
+        "arch": arch.name,
+        "clusters": arch.num_clusters,
+        "policies": list(policy_names),
+        "preset": preset,
+        "seed": seed,
+        "epoch_s": epoch_s,
+        "token": cache_token or "",
+    })
+
+
+def cached_comparison(cache_dir: str | Path,
+                      policy_factories: dict[str, callable],
+                      kernels: list[KernelProfile], arch: GPUArchConfig,
+                      preset: float,
+                      power_model: PowerModel | None = None,
+                      seed: int = 0, epoch_s: float = us(10), *,
+                      cache_token: str | None = None,
+                      workers: int | None = None,
+                      stats: CampaignStats | None = None,
+                      use_cache: bool = True) -> ComparisonResult:
+    """Load a policy × kernel grid from cache, running it on miss.
+
+    Counters ``comparison_cache_hit`` / ``comparison_cache_miss`` land
+    in ``stats``.  With ``use_cache=False`` the grid is re-run and the
+    cache file refreshed.
+    """
+    stats = stats if stats is not None else CampaignStats()
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    key = comparison_cache_key(list(policy_factories), kernels, arch, preset,
+                               seed=seed, epoch_s=epoch_s,
+                               cache_token=cache_token)
+    path = cache_dir / f"grid-{key}.json"
+    if use_cache and path.exists():
+        stats.count("comparison_cache_hit")
+        with stats.stage("grid_load", tasks=1):
+            return ComparisonResult.from_payload(
+                json.loads(path.read_text()))
+    stats.count("comparison_cache_miss")
+    result = compare_policies(policy_factories, kernels, arch, preset,
+                              power_model, seed=seed, epoch_s=epoch_s,
+                              workers=workers, stats=stats)
+    path.write_text(json.dumps(result.to_payload()))
+    return result

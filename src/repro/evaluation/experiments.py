@@ -9,9 +9,11 @@ paper-vs-measured comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
+from ..datagen.cache import content_key
 from ..datagen.dataset import DVFSDataset
 from ..datagen.rfe import RFEResult, RFESelector
 from ..errors import ReproError
@@ -28,8 +30,10 @@ from ..core.controller import SSMDVFSController
 from ..core.pipeline import PipelineConfig, PipelineResult, build_from_dataset
 from ..baselines.flemma import FLEMMAPolicy
 from ..baselines.pcstall import PCSTALLPolicy
+from ..parallel import CampaignStats
 from ..power.model import PowerModel
 from ..units import us
+from .cache import cached_comparison
 from .reporting import format_percent, format_table
 from .runner import ComparisonResult, compare_policies
 
@@ -313,34 +317,63 @@ class Fig4Result:
 
 def fig4_policy_factories(models: dict[str, SSMDVFSModel], preset: float,
                           seed: int = 0) -> dict[str, callable]:
-    """The policy line-up of Fig. 4 for one preset."""
+    """The policy line-up of Fig. 4 for one preset.
+
+    Factories are :func:`functools.partial` objects over module-level
+    classes, so the evaluation grid can pickle them into worker
+    processes when a campaign runs with ``workers > 1``.
+    """
     factories: dict[str, callable] = {
-        "pcstall": lambda: PCSTALLPolicy(preset),
-        "flemma": lambda: FLEMMAPolicy(preset, seed=seed),
+        "pcstall": partial(PCSTALLPolicy, preset),
+        "flemma": partial(FLEMMAPolicy, preset, seed=seed),
     }
     if "base" in models:
-        factories["ssmdvfs"] = (
-            lambda: SSMDVFSController(models["base"], preset))
-        factories["ssmdvfs-nocal"] = (
-            lambda: SSMDVFSController(models["base"], preset,
-                                      use_calibrator=False))
+        factories["ssmdvfs"] = partial(SSMDVFSController, models["base"],
+                                       preset)
+        factories["ssmdvfs-nocal"] = partial(SSMDVFSController,
+                                             models["base"], preset,
+                                             use_calibrator=False)
     if "pruned" in models:
-        factories["ssmdvfs-pruned"] = (
-            lambda: SSMDVFSController(models["pruned"], preset))
+        factories["ssmdvfs-pruned"] = partial(SSMDVFSController,
+                                              models["pruned"], preset)
     return factories
+
+
+def fig4_cache_token(models: dict[str, SSMDVFSModel]) -> str:
+    """Identify the model line-up for the evaluation-grid cache key."""
+    return content_key({name: repr(sorted(
+        getattr(model, "metadata", {}).items()))
+        for name, model in sorted(models.items())})
 
 
 def run_fig4(models: dict[str, SSMDVFSModel], kernels: list[KernelProfile],
              arch: GPUArchConfig, presets: tuple[float, ...] = (0.10, 0.20),
              power_model: PowerModel | None = None, seed: int = 0,
-             epoch_s: float = us(10)) -> Fig4Result:
-    """Reproduce Fig. 4 across presets and the full policy line-up."""
+             epoch_s: float = us(10), workers: int | None = None,
+             stats: CampaignStats | None = None,
+             cache_dir: str | None = None, cache_token: str | None = None,
+             use_cache: bool = True) -> Fig4Result:
+    """Reproduce Fig. 4 across presets and the full policy line-up.
+
+    ``workers`` fans each preset's policy × kernel grid out over a
+    process pool.  With ``cache_dir`` set, finished grids are cached
+    on disk keyed by the kernel suite, arch, preset, seed and a model
+    ``cache_token`` (defaults to a hash of the models' metadata).
+    """
     result = Fig4Result()
+    if cache_dir is not None and cache_token is None:
+        cache_token = fig4_cache_token(models)
     for preset in presets:
         factories = fig4_policy_factories(models, preset, seed=seed)
-        result.comparisons[preset] = compare_policies(
-            factories, kernels, arch, preset, power_model, seed=seed,
-            epoch_s=epoch_s)
+        if cache_dir is not None:
+            result.comparisons[preset] = cached_comparison(
+                cache_dir, factories, kernels, arch, preset, power_model,
+                seed=seed, epoch_s=epoch_s, cache_token=cache_token,
+                workers=workers, stats=stats, use_cache=use_cache)
+        else:
+            result.comparisons[preset] = compare_policies(
+                factories, kernels, arch, preset, power_model, seed=seed,
+                epoch_s=epoch_s, workers=workers, stats=stats)
     return result
 
 

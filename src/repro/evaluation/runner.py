@@ -7,7 +7,8 @@ default-operating-point baseline (Fig. 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -15,6 +16,7 @@ from ..errors import SimulationError
 from ..gpu.arch import GPUArchConfig
 from ..gpu.kernels import KernelProfile
 from ..gpu.simulator import GPUSimulator
+from ..parallel import CampaignStats, parallel_map
 from ..power.model import PowerModel
 from ..core.policy import StaticPolicy
 from ..units import us
@@ -36,6 +38,15 @@ class PolicyRun:
     def edp(self) -> float:
         """Raw energy-delay product."""
         return self.energy_j * self.time_s
+
+    def to_payload(self) -> dict:
+        """JSON-ready dict (for the on-disk evaluation-grid cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PolicyRun":
+        """Inverse of :meth:`to_payload`."""
+        return cls(**payload)
 
 
 @dataclass
@@ -90,6 +101,18 @@ class ComparisonResult:
         reference_edp = self.mean_normalized_edp(reference_name)
         return 1.0 - policy_edp / reference_edp
 
+    def to_payload(self) -> dict:
+        """JSON-ready dict (for the on-disk evaluation-grid cache)."""
+        return {"preset": self.preset,
+                "runs": [run.to_payload() for run in self.runs]}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ComparisonResult":
+        """Inverse of :meth:`to_payload`."""
+        return cls(preset=payload["preset"],
+                   runs=[PolicyRun.from_payload(r)
+                         for r in payload["runs"]])
+
 
 def run_policy_on_kernel(policy, kernel: KernelProfile, arch: GPUArchConfig,
                          power_model: PowerModel | None = None,
@@ -102,35 +125,61 @@ def run_policy_on_kernel(policy, kernel: KernelProfile, arch: GPUArchConfig,
     return result.time_s, result.energy_j, result.epochs
 
 
+def _policy_task(task: tuple) -> tuple[float, float, int]:
+    """Process-pool unit of evaluation: one (policy, kernel) run.
+
+    Takes the *factory* rather than a policy instance so every run gets
+    a fresh policy, and builds its own simulator from the explicit seed
+    — identical results whether run in-process or in a worker.
+    """
+    factory, kernel, arch, power_model, seed, epoch_s = task
+    return run_policy_on_kernel(factory(), kernel, arch, power_model,
+                                seed=seed, epoch_s=epoch_s)
+
+
 def compare_policies(policy_factories: dict[str, callable],
                      kernels: list[KernelProfile], arch: GPUArchConfig,
                      preset: float,
                      power_model: PowerModel | None = None,
                      seed: int = 0,
-                     epoch_s: float = us(10)) -> ComparisonResult:
+                     epoch_s: float = us(10),
+                     workers: int | None = None,
+                     stats: CampaignStats | None = None) -> ComparisonResult:
     """Evaluate a set of policies over a kernel list.
 
     ``policy_factories`` maps display names to zero-argument callables
     producing a *fresh* policy (stateful policies like F-LEMMA must not
     be reused across runs).  A default-level static baseline is always
-    run first for normalization.
+    run for normalization.  ``workers`` fans the policy × kernel grid
+    out over a process pool (picklable factories — e.g.
+    ``functools.partial`` over module-level classes — required to
+    actually parallelise; anything else falls back to serial).
     """
     power_model = power_model or PowerModel()
-    result = ComparisonResult(preset=preset)
+    names = list(policy_factories)
+    baseline_factory = partial(StaticPolicy, arch.vf_table.default_level)
+    tasks = []
     for kernel in kernels:
-        base_time, base_energy, base_epochs = run_policy_on_kernel(
-            StaticPolicy(arch.vf_table.default_level), kernel, arch,
-            power_model, seed=seed, epoch_s=epoch_s)
+        tasks.append((baseline_factory, kernel, arch, power_model, seed,
+                      epoch_s))
+        for name in names:
+            tasks.append((policy_factories[name], kernel, arch, power_model,
+                          seed, epoch_s))
+    outcomes = parallel_map(_policy_task, tasks, workers=workers, stats=stats,
+                            stage="evaluation")
+
+    result = ComparisonResult(preset=preset)
+    cursor = iter(outcomes)
+    for kernel in kernels:
+        base_time, base_energy, base_epochs = next(cursor)
         base_edp = base_energy * base_time
         result.runs.append(PolicyRun(
             policy_name="baseline", kernel_name=kernel.name,
             time_s=base_time, energy_j=base_energy,
             normalized_edp=1.0, normalized_latency=1.0,
             epochs=base_epochs))
-        for name, factory in policy_factories.items():
-            time_s, energy_j, epochs = run_policy_on_kernel(
-                factory(), kernel, arch, power_model, seed=seed,
-                epoch_s=epoch_s)
+        for name in names:
+            time_s, energy_j, epochs = next(cursor)
             result.runs.append(PolicyRun(
                 policy_name=name, kernel_name=kernel.name,
                 time_s=time_s, energy_j=energy_j,

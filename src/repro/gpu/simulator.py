@@ -15,8 +15,11 @@ run-until-instruction-mark primitives that the data-generation protocol
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence
+
+import numpy as np
 
 from ..errors import SimulationError, SnapshotError
 from ..power.energy import EnergyAccount
@@ -84,7 +87,11 @@ class RunResult:
 
     @property
     def time_s(self) -> float:
-        """Total wall-clock time of the run."""
+        """Total wall-clock time of the run.
+
+        Equals the sum of the record durations: the run loop truncates
+        the final partial epoch's record to the drain point.
+        """
         return self.account.time_s
 
     @property
@@ -173,8 +180,14 @@ class GPUSimulator:
             cluster.set_level(level)
 
     def apply_decision(self, decision: int | Sequence[int]) -> None:
-        """Apply a policy decision (scalar broadcast or per-cluster)."""
-        if isinstance(decision, (int, float)):
+        """Apply a policy decision (scalar broadcast or per-cluster).
+
+        Scalars are detected via :class:`numbers.Real` / ``np.ndim`` so
+        numpy scalars (an MLP argmax returns ``np.int64``) and 0-d
+        arrays broadcast like plain ints instead of being mistaken for
+        per-cluster sequences.
+        """
+        if isinstance(decision, numbers.Real) or np.ndim(decision) == 0:
             self.set_all_levels(int(decision))
             return
         levels = list(decision)
@@ -234,7 +247,10 @@ class GPUSimulator:
 
         Clusters finish mid-epoch; the program is done once the last
         busy cluster drains, so the idle tail's static/clock power is
-        refunded and time is truncated to the drain point.
+        refunded and time is truncated to the drain point.  This is the
+        non-mutating variant; :meth:`truncate_final_record` additionally
+        rewrites the record so stored records stay consistent with the
+        energy account.
         """
         effective_time = min(record.duration_s, max(record.finish_time_s, 1e-12))
         unused = record.duration_s - effective_time
@@ -244,9 +260,40 @@ class GPUSimulator:
         effective_energy = max(0.0, record.energy_j - refund)
         return effective_time, effective_energy
 
+    def truncate_final_record(self, record: EpochRecord
+                              ) -> tuple[float, float]:
+        """Truncate a run-ending record *in place* to the drain point.
+
+        Historically only the energy account was adjusted while the
+        record kept its full ``duration_s``, so ``RunResult.time_s``
+        disagreed with the summed record durations by up to one epoch.
+        Mutating the record keeps the two views consistent: the idle
+        tail's time is cut and its static/clock energy refunded per
+        component (cluster vs uncore), mirroring
+        :meth:`_final_epoch_adjustment`'s totals.
+        """
+        effective_time = min(record.duration_s,
+                             max(record.finish_time_s, 1e-12))
+        unused = record.duration_s - effective_time
+        cluster_static = sum(c["power_static"]
+                             for c in record.cluster_counters)
+        uncore_static = self.power_model.config.uncore_static_w
+        record.duration_s = effective_time
+        record.cluster_energy_j = max(
+            0.0, record.cluster_energy_j - unused * cluster_static)
+        record.uncore_energy_j = max(
+            0.0, record.uncore_energy_j - unused * uncore_static)
+        return record.duration_s, record.energy_j
+
     def run(self, policy: DVFSPolicy, max_epochs: int = 100_000,
             keep_records: bool = True) -> RunResult:
-        """Run the kernel to completion under ``policy``."""
+        """Run the kernel to completion under ``policy``.
+
+        The returned result is internally consistent: the final partial
+        epoch's record is truncated to the drain point, so
+        ``RunResult.time_s`` equals the sum of the record durations and
+        ``RunResult.energy_j`` the sum of the record energies.
+        """
         policy.reset(self)
         account = EnergyAccount()
         records: list[EpochRecord] = []
@@ -260,7 +307,7 @@ class GPUSimulator:
             record = self.step_epoch()
             epochs += 1
             if record.all_finished:
-                time_s, energy_j = self._final_epoch_adjustment(record)
+                time_s, energy_j = self.truncate_final_record(record)
                 account.add(energy_j, time_s)
             else:
                 account.add(record.energy_j, record.duration_s)
@@ -295,6 +342,13 @@ class GPUSimulator:
         primitive of the data-generation protocol (§III-A): total
         workload is held constant across V/f variants by running to an
         instruction mark, not to a time mark.
+
+        The mark is crossed mid-epoch, and the final record deliberately
+        keeps its full ``duration_s`` — no truncation is applied because
+        the simulator genuinely ran (and spent energy over) the whole
+        epoch.  Callers needing sub-epoch resolution interpolate within
+        that final epoch, as the protocol's ``_time_to_reach_mark``
+        does.
         """
         records = []
         epochs = 0
@@ -313,6 +367,7 @@ class GPUSimulator:
         """Capture full replayable simulator state."""
         return {
             "kernel_name": self.workload_name,
+            "epoch_s": self.epoch_s,
             "time_s": self.time_s,
             "epoch_index": self.epoch_index,
             "clusters": [c.snapshot() for c in self.clusters],
@@ -324,6 +379,13 @@ class GPUSimulator:
             raise SnapshotError(
                 "snapshot belongs to a different workload "
                 f"({state.get('kernel_name')!r} != {self.workload_name!r})"
+            )
+        snapshot_epoch = state.get("epoch_s", self.epoch_s)
+        if snapshot_epoch != self.epoch_s:
+            raise SnapshotError(
+                f"snapshot taken with epoch length {snapshot_epoch!r}, "
+                f"simulator runs {self.epoch_s!r}; resuming would silently "
+                "mix epoch timings"
             )
         if len(state["clusters"]) != len(self.clusters):
             raise SnapshotError("snapshot cluster count mismatch")

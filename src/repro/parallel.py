@@ -1,0 +1,192 @@
+"""Parallel campaign execution with deterministic fan-out.
+
+The offline stages of the reproduction — the §III-A data-generation
+protocol and the Fig. 4 policy × kernel evaluation grid — are
+embarrassingly parallel: every task builds its own simulator from an
+explicit seed, so results are independent of execution order.  This
+module provides the shared campaign layer:
+
+* :func:`parallel_map` — ordered, chunked fan-out over a
+  ``ProcessPoolExecutor`` that degrades gracefully: pool-level failures
+  (crashed workers, unpicklable tasks) fall back to an in-process
+  serial pass, so a campaign never fails *because* it was parallel.
+* :class:`CampaignStats` — lightweight observability: per-stage
+  wall-clock timings, worker counts and named counters (cache hits and
+  misses among them), rendered by the CLI ``--stats`` flag.
+* :func:`derive_seed` — stable per-task seed derivation so fan-out
+  keeps the bit-identical determinism of the serial path.
+
+Tasks must be picklable module-level callables to actually run in
+worker processes; anything else silently takes the serial fallback
+(counted in ``parallel_fallbacks``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+from .errors import ParallelError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Exception types that indicate the *pool* (not the task) failed and a
+#: serial fallback is safe: broken workers, unpicklable callables or
+#: arguments, and OS-level process failures.  Task-level library errors
+#: (``ReproError`` subclasses) propagate unchanged.
+_POOL_FAILURES = (BrokenProcessPool, pickle.PicklingError, AttributeError,
+                  TypeError, ImportError, OSError)
+
+
+@dataclass
+class StageTiming:
+    """Wall-clock record of one campaign stage."""
+
+    name: str
+    seconds: float
+    tasks: int
+    workers: int
+    mode: str  # "serial" | "parallel" | "fallback"
+
+
+class CampaignStats:
+    """Counters and stage timings of one campaign invocation.
+
+    A single instance is threaded through data generation, dataset
+    assembly, caching and evaluation, so one ``render()`` shows the
+    whole pipeline: where the time went, how wide each stage fanned
+    out, and whether caches were hit.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.stages: list[StageTiming] = []
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment a named counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    @property
+    def cache_hits(self) -> int:
+        """Total hits over every ``*cache_hit`` counter."""
+        return sum(v for k, v in self.counters.items()
+                   if k.endswith("cache_hit"))
+
+    @property
+    def cache_misses(self) -> int:
+        """Total misses over every ``*cache_miss`` counter."""
+        return sum(v for k, v in self.counters.items()
+                   if k.endswith("cache_miss"))
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def stage(self, name: str, tasks: int = 0, workers: int = 1,
+              mode: str = "serial") -> Iterator[StageTiming]:
+        """Time a named stage; the yielded record may be amended."""
+        timing = StageTiming(name=name, seconds=0.0, tasks=tasks,
+                             workers=workers, mode=mode)
+        start = time.perf_counter()
+        try:
+            yield timing
+        finally:
+            timing.seconds = time.perf_counter() - start
+            self.stages.append(timing)
+
+    def total_seconds(self) -> float:
+        """Summed wall-clock over all recorded stages."""
+        return sum(s.seconds for s in self.stages)
+
+    def render(self) -> str:
+        """Human-readable campaign summary (the ``--stats`` output)."""
+        lines = ["campaign stats"]
+        if self.stages:
+            lines.append(f"  {'stage':24s} {'mode':9s} {'workers':>7s} "
+                         f"{'tasks':>6s} {'wall (s)':>9s}")
+            for s in self.stages:
+                lines.append(f"  {s.name:24s} {s.mode:9s} {s.workers:7d} "
+                             f"{s.tasks:6d} {s.seconds:9.3f}")
+            lines.append(f"  {'total':24s} {'':9s} {'':7s} {'':6s} "
+                         f"{self.total_seconds():9.3f}")
+        if self.counters:
+            lines.append("  counters")
+            for name in sorted(self.counters):
+                lines.append(f"    {name:30s} {self.counters[name]}")
+        if not self.stages and not self.counters:
+            lines.append("  (empty)")
+        return "\n".join(lines)
+
+
+def derive_seed(base_seed: int, *parts: object) -> int:
+    """Stable per-task seed: SHA-256 of the base seed and task identity.
+
+    Independent of worker count and scheduling order, so parallel and
+    serial campaigns draw identical random streams for the same task.
+    """
+    payload = ":".join([str(int(base_seed)), *map(str, parts)])
+    digest = hashlib.sha256(payload.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (2 ** 63)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``--workers`` value: ``None``/1 → serial, ≤0 → all cores."""
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers <= 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+def default_chunksize(num_tasks: int, workers: int) -> int:
+    """Chunk fan-out so each worker sees ~4 chunks (amortised pickling)."""
+    if num_tasks <= 0 or workers <= 0:
+        raise ParallelError("chunking needs positive task/worker counts")
+    return max(1, (num_tasks + 4 * workers - 1) // (4 * workers))
+
+
+def _serial_map(fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+    return [fn(task) for task in tasks]
+
+
+def parallel_map(fn: Callable[[T], R], tasks: Iterable[T], *,
+                 workers: int | None = None, chunksize: int | None = None,
+                 stats: CampaignStats | None = None,
+                 stage: str = "campaign") -> list[R]:
+    """Map ``fn`` over ``tasks``, preserving order.
+
+    With ``workers`` > 1 the map fans out over a process pool in chunks;
+    any pool-level failure (worker crash, unpicklable task) falls back
+    to a serial in-process pass over *all* tasks, so results are always
+    complete and ordered.  Exceptions raised by ``fn`` itself propagate
+    unchanged, exactly as a plain loop would raise them.
+    """
+    tasks = list(tasks)
+    stats = stats if stats is not None else CampaignStats()
+    workers = min(resolve_workers(workers), max(1, len(tasks)))
+    if workers <= 1:
+        with stats.stage(stage, tasks=len(tasks), workers=1, mode="serial"):
+            return _serial_map(fn, tasks)
+    chunk = chunksize or default_chunksize(len(tasks), workers)
+    with stats.stage(stage, tasks=len(tasks), workers=workers,
+                     mode="parallel") as timing:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, tasks, chunksize=chunk))
+        except _POOL_FAILURES:
+            stats.count("parallel_fallbacks")
+            timing.mode = "fallback"
+            timing.workers = 1
+            return _serial_map(fn, tasks)

@@ -170,7 +170,7 @@ def run_with_thermal(simulator, policy, config: ThermalConfig | None = None,
         statics = [c["power_static"] for c in record.cluster_counters]
         extra = tracker.step_epoch(powers, statics, record.duration_s)
         if record.all_finished:
-            time_s, energy_j = simulator._final_epoch_adjustment(record)
+            time_s, energy_j = simulator.truncate_final_record(record)
             account.add(energy_j + extra, time_s)
         else:
             account.add(record.energy_j + extra, record.duration_s)

@@ -1,0 +1,272 @@
+"""Parallel campaign layer: determinism, caching, worker fallback."""
+
+import os
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.core.policy import StaticPolicy
+from repro.datagen.cache import cached_dataset, content_key
+from repro.datagen.dataset import DVFSDataset
+from repro.datagen.protocol import (ProtocolConfig, generate_chunks_for_suite,
+                                    generate_for_suite)
+from repro.errors import ParallelError
+from repro.evaluation.cache import cached_comparison, comparison_cache_key
+from repro.evaluation.runner import ComparisonResult, compare_policies
+from repro.gpu.kernels import KernelProfile
+from repro.gpu.phases import balanced_phase, compute_phase, memory_phase
+from repro.parallel import (CampaignStats, default_chunksize, derive_seed,
+                            parallel_map, resolve_workers)
+
+CFG = ProtocolConfig(max_breakpoints_per_kernel=2, seed=7)
+
+#: Environment marker so worker processes (fork or spawn) can recognise
+#: they are not the pytest main process.
+_MAIN_PID_VAR = "_REPRO_TEST_MAIN_PID"
+
+
+def _suite():
+    return [
+        KernelProfile("p.compute",
+                      [compute_phase("c", 120_000, warps=16)],
+                      iterations=6, jitter=0.05),
+        KernelProfile("p.memory",
+                      [memory_phase("m", 120_000, warps=40, l1_miss=0.8,
+                                    l2_miss=0.7)],
+                      iterations=6, jitter=0.05),
+        KernelProfile("p.balanced", [balanced_phase("b", 120_000)],
+                      iterations=6, jitter=0.05),
+    ]
+
+
+def _eval_kernel():
+    return KernelProfile("p.eval", [balanced_phase("b", 120_000)],
+                         iterations=10, jitter=0.05)
+
+
+def _square(x):
+    return x * x
+
+
+def _crash_in_worker(x):
+    if os.environ.get(_MAIN_PID_VAR) != str(os.getpid()):
+        os._exit(13)  # hard-kill the pool worker, no exception raised
+    return x + 1
+
+
+# ---------------------------------------------------------------------------
+# parallel_map plumbing
+# ---------------------------------------------------------------------------
+
+def test_parallel_map_matches_serial_and_keeps_order():
+    tasks = list(range(23))
+    stats = CampaignStats()
+    out = parallel_map(_square, tasks, workers=2, stats=stats)
+    assert out == [t * t for t in tasks]
+    assert stats.stages[-1].mode == "parallel"
+    assert stats.stages[-1].workers == 2
+    assert stats.stages[-1].tasks == 23
+
+
+def test_single_worker_stays_in_process():
+    stats = CampaignStats()
+    assert parallel_map(_square, [1, 2], workers=1, stats=stats) == [1, 4]
+    assert stats.stages[-1].mode == "serial"
+
+
+def test_worker_crash_falls_back_to_serial():
+    os.environ[_MAIN_PID_VAR] = str(os.getpid())
+    try:
+        stats = CampaignStats()
+        out = parallel_map(_crash_in_worker, [1, 2, 3], workers=2,
+                           stats=stats)
+        assert out == [2, 3, 4]
+        assert stats.counter("parallel_fallbacks") == 1
+        assert stats.stages[-1].mode == "fallback"
+    finally:
+        os.environ.pop(_MAIN_PID_VAR, None)
+
+
+def test_unpicklable_task_falls_back_to_serial():
+    stats = CampaignStats()
+    out = parallel_map(lambda x: x - 1, [5, 6], workers=2, stats=stats)
+    assert out == [4, 5]
+    assert stats.counter("parallel_fallbacks") == 1
+
+
+def test_task_errors_propagate():
+    def boom(x):
+        raise ValueError("task failure")
+    with pytest.raises(ValueError):
+        parallel_map(boom, [1], workers=1)
+
+
+def test_resolve_workers():
+    assert resolve_workers(None) == 1
+    assert resolve_workers(1) == 1
+    assert resolve_workers(4) == 4
+    assert resolve_workers(0) >= 1
+    assert resolve_workers(-1) >= 1
+
+
+def test_default_chunksize():
+    assert default_chunksize(100, 4) == 7
+    assert default_chunksize(3, 8) == 1
+    with pytest.raises(ParallelError):
+        default_chunksize(0, 4)
+
+
+def test_derive_seed_stable_and_distinct():
+    assert derive_seed(3, "a") == derive_seed(3, "a")
+    assert derive_seed(3, "a") != derive_seed(3, "b")
+    assert derive_seed(3, "a") != derive_seed(4, "a")
+    assert 0 <= derive_seed(1, 2, "x") < 2 ** 63
+
+
+def test_stats_render_mentions_stages_and_counters():
+    stats = CampaignStats()
+    with stats.stage("demo", tasks=3, workers=2, mode="parallel"):
+        pass
+    stats.count("dataset_cache_hit")
+    text = stats.render()
+    assert "demo" in text and "dataset_cache_hit" in text
+    assert stats.cache_hits == 1 and stats.cache_misses == 0
+
+
+# ---------------------------------------------------------------------------
+# Data-generation determinism
+# ---------------------------------------------------------------------------
+
+def _assert_datasets_identical(a: DVFSDataset, b: DVFSDataset) -> None:
+    assert a.kernel_names == b.kernel_names
+    for name in ("counters", "sample_breakpoint", "sample_level",
+                 "sample_loss", "sample_instructions", "record_group"):
+        left, right = getattr(a, name), getattr(b, name)
+        assert left.dtype == right.dtype, name
+        assert np.array_equal(left, right), name
+
+
+def test_parallel_dataset_bit_identical_to_serial(small_arch):
+    serial = DVFSDataset.from_breakpoints(
+        generate_for_suite(_suite(), small_arch, config=CFG))
+    stats = CampaignStats()
+    chunks = generate_chunks_for_suite(_suite(), small_arch, config=CFG,
+                                       workers=2, stats=stats)
+    parallel = DVFSDataset.from_breakpoint_chunks(chunks, workers=2,
+                                                  stats=stats)
+    _assert_datasets_identical(serial, parallel)
+    modes = {s.name: s.mode for s in stats.stages}
+    assert modes["datagen"] in ("parallel", "fallback")
+
+
+def test_merge_equals_flat_assembly(small_arch):
+    chunks = generate_chunks_for_suite(_suite(), small_arch, config=CFG)
+    flat = DVFSDataset.from_breakpoints(
+        [bp for chunk in chunks for bp in chunk])
+    merged = DVFSDataset.merge(
+        [DVFSDataset.from_breakpoints(chunk) for chunk in chunks if chunk])
+    _assert_datasets_identical(flat, merged)
+
+
+# ---------------------------------------------------------------------------
+# Dataset cache: hits, misses, invalidation
+# ---------------------------------------------------------------------------
+
+def test_warm_cache_skips_simulation(tmp_path, small_arch):
+    cold = CampaignStats()
+    first = cached_dataset(tmp_path, _suite(), small_arch, CFG, workers=2,
+                           stats=cold)
+    assert cold.counter("dataset_cache_miss") == 1
+    assert cold.counter("dataset_cache_hit") == 0
+    assert any(s.name == "datagen" for s in cold.stages)
+
+    warm = CampaignStats()
+    second = cached_dataset(tmp_path, _suite(), small_arch, CFG, workers=2,
+                            stats=warm)
+    assert warm.counter("dataset_cache_hit") == 1
+    assert warm.counter("dataset_cache_miss") == 0
+    # The warm rerun must skip simulation entirely: no datagen stage ran.
+    assert not any(s.name == "datagen" for s in warm.stages)
+    _assert_datasets_identical(first, second)
+
+
+def test_cache_invalidated_on_config_change(tmp_path, small_arch):
+    stats = CampaignStats()
+    cached_dataset(tmp_path, _suite(), small_arch, CFG, stats=stats)
+    other = ProtocolConfig(max_breakpoints_per_kernel=2, seed=8)
+    cached_dataset(tmp_path, _suite(), small_arch, other, stats=stats)
+    assert stats.counter("dataset_cache_miss") == 2
+    assert len(list(tmp_path.glob("dvfs-*.npz"))) == 2
+
+
+def test_no_cache_regenerates_but_refreshes_file(tmp_path, small_arch):
+    stats = CampaignStats()
+    cached_dataset(tmp_path, _suite(), small_arch, CFG, stats=stats)
+    cached_dataset(tmp_path, _suite(), small_arch, CFG, stats=stats,
+                   use_cache=False)
+    assert stats.counter("dataset_cache_miss") == 2
+    assert len(list(tmp_path.glob("dvfs-*.npz"))) == 1
+
+
+def test_content_key_is_order_insensitive():
+    assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+    assert content_key({"a": 1}) != content_key({"a": 2})
+
+
+# ---------------------------------------------------------------------------
+# Evaluation grid: parallel parity and caching
+# ---------------------------------------------------------------------------
+
+def _factories():
+    return {"low": partial(StaticPolicy, 1), "high": partial(StaticPolicy, 4)}
+
+
+def test_parallel_comparison_matches_serial(small_arch):
+    serial = compare_policies(_factories(), [_eval_kernel()], small_arch,
+                              0.1, seed=3)
+    stats = CampaignStats()
+    parallel = compare_policies(_factories(), [_eval_kernel()], small_arch,
+                                0.1, seed=3, workers=2, stats=stats)
+    assert serial.to_payload() == parallel.to_payload()
+
+
+def test_comparison_payload_roundtrip(small_arch):
+    result = compare_policies(_factories(), [_eval_kernel()], small_arch,
+                              0.1, seed=3)
+    clone = ComparisonResult.from_payload(result.to_payload())
+    assert clone.to_payload() == result.to_payload()
+    assert clone.policies() == result.policies()
+
+
+def test_comparison_cache_hit_and_token_invalidation(tmp_path, small_arch):
+    cold = CampaignStats()
+    first = cached_comparison(tmp_path, _factories(), [_eval_kernel()],
+                              small_arch, 0.1, seed=3, stats=cold)
+    assert cold.counter("comparison_cache_miss") == 1
+
+    warm = CampaignStats()
+    second = cached_comparison(tmp_path, _factories(), [_eval_kernel()],
+                               small_arch, 0.1, seed=3, stats=warm)
+    assert warm.counter("comparison_cache_hit") == 1
+    assert warm.counter("comparison_cache_miss") == 0
+    assert first.to_payload() == second.to_payload()
+
+    # A different model token must land on a fresh key.
+    retoken = CampaignStats()
+    cached_comparison(tmp_path, _factories(), [_eval_kernel()], small_arch,
+                      0.1, seed=3, stats=retoken, cache_token="other-models")
+    assert retoken.counter("comparison_cache_miss") == 1
+
+
+def test_comparison_key_depends_on_grid_parameters(small_arch):
+    kernels = [_eval_kernel()]
+    base = comparison_cache_key(["a"], kernels, small_arch, 0.1, seed=3)
+    assert base == comparison_cache_key(["a"], kernels, small_arch, 0.1,
+                                        seed=3)
+    assert base != comparison_cache_key(["b"], kernels, small_arch, 0.1,
+                                        seed=3)
+    assert base != comparison_cache_key(["a"], kernels, small_arch, 0.2,
+                                        seed=3)
+    assert base != comparison_cache_key(["a"], kernels, small_arch, 0.1,
+                                        seed=4)

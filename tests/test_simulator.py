@@ -1,5 +1,6 @@
 """Top-level GPU simulator."""
 
+import numpy as np
 import pytest
 
 from repro.errors import SimulationError, SnapshotError
@@ -109,6 +110,22 @@ def test_apply_decision_broadcast_and_per_cluster():
         sim.apply_decision([0, 1])
 
 
+def test_apply_decision_numpy_scalar_broadcasts():
+    """Regression: np.int64 (an MLP argmax) must broadcast, not be
+    treated as a per-cluster sequence."""
+    sim = _sim()
+    sim.apply_decision(np.int64(2))
+    assert sim.levels == [2, 2, 2]
+    sim.apply_decision(np.argmax(np.array([0.1, 0.9, 0.2])))
+    assert sim.levels == [1, 1, 1]
+    sim.apply_decision(np.float64(3.0))
+    assert sim.levels == [3, 3, 3]
+    sim.apply_decision(np.array(0))  # 0-d array
+    assert sim.levels == [0, 0, 0]
+    sim.apply_decision(np.array([0, 1, 2]))  # 1-d stays per-cluster
+    assert sim.levels == [0, 1, 2]
+
+
 def test_step_after_finish_rejected():
     sim = _sim(kernel=_kernel(iterations=1))
     sim.run(PinnedPolicy(5))
@@ -138,6 +155,37 @@ def test_snapshot_restore_replays_run():
     sim.restore(snap)
     second = [sim.step_epoch().instructions for _ in range(3)]
     assert first == pytest.approx(second)
+
+
+def test_snapshot_epoch_length_mismatch_rejected():
+    """Regression: restoring a snapshot taken with a different epoch_s
+    must fail loudly instead of silently mixing epoch timings."""
+    sim = _sim()
+    snap = sim.snapshot()
+    assert snap["epoch_s"] == pytest.approx(us(10))
+    other = GPUSimulator(ARCH, _kernel(), PowerModel(), seed=3,
+                         epoch_s=us(20))
+    with pytest.raises(SnapshotError):
+        other.restore(snap)
+    # Legacy snapshots without the field restore against the current
+    # epoch (nothing to check against).
+    legacy = {k: v for k, v in sim.snapshot().items() if k != "epoch_s"}
+    sim.restore(legacy)
+
+
+def test_final_record_consistent_with_account():
+    """Regression: the final partial epoch's record is truncated, so
+    summed record durations/energies equal the run totals."""
+    result = _sim().run(PinnedPolicy(5))
+    assert sum(r.duration_s for r in result.records) == pytest.approx(
+        result.time_s, abs=1e-15)
+    assert sum(r.energy_j for r in result.records) == pytest.approx(
+        result.energy_j, rel=1e-12)
+    last = result.records[-1]
+    assert last.all_finished
+    assert last.duration_s <= us(10)
+    assert last.duration_s == pytest.approx(
+        min(us(10), max(last.finish_time_s, 1e-12)))
 
 
 def test_snapshot_wrong_kernel_rejected():
