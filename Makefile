@@ -4,7 +4,10 @@
 # `slow` (per-cycle simulation windows).  `bench-smoke` exercises the
 # simulator-throughput and parallel-campaign benchmarks once without
 # timing repetition, so the process-pool fan-out path runs in CI without
-# slowing the gate down.
+# slowing the gate down.  It also runs the epoch-engine perf gate
+# (solution-cache and batched-inference speedups, self-timed with
+# perf_counter) and writes benchmarks/results/BENCH_epoch_engine.json,
+# which CI uploads as an artifact.
 
 PYTHON ?= python
 export PYTHONPATH := src

@@ -215,7 +215,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool size for campaign fan-out "
                             "(1 = serial, 0 = all cores)")
         p.add_argument("--stats", action="store_true",
-                       help="print campaign timings and cache counters")
+                       help="print campaign timings and cache counters "
+                            "(dataset/comparison disk caches plus the "
+                            "interval-model solve_cache_hit/miss pair)")
         p.add_argument("--no-cache", action="store_true",
                        help="ignore cached artefacts and regenerate "
                             "(the fresh result still refreshes the cache)")

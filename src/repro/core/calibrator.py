@@ -40,6 +40,9 @@ class Calibrator:
         self.model = model
         self.extractor = extractor
         self.scaler = scaler
+        # Reusable (n, features + 1) input buffer for batched inference;
+        # grown/replaced on demand when the batch size changes.
+        self._raw_buffer: np.ndarray | None = None
 
     def predict_ratio(self, counters: CounterSet, level: int) -> float:
         """Predicted next-window / current-window throughput ratio."""
@@ -48,8 +51,33 @@ class Calibrator:
         x = self.scaler.transform(raw)
         return max(0.0, float(self.model.predict_scalar(x[None, :])[0]))
 
+    def predict_ratios(self, counter_sets: list[CounterSet],
+                       levels: list[int]) -> np.ndarray:
+        """Throughput ratios for a cluster batch in one forward pass."""
+        if not counter_sets:
+            raise PolicyError("no counters given")
+        if len(counter_sets) != len(levels):
+            raise PolicyError("counter/level batch size mismatch")
+        n = len(counter_sets)
+        width = self.extractor.width + 1
+        buffer = self._raw_buffer
+        if buffer is None or buffer.shape[0] != n:
+            buffer = self._raw_buffer = np.empty((n, width),
+                                                 dtype=np.float64)
+        self.extractor.extract_matrix(counter_sets, out=buffer[:, :-1])
+        buffer[:, -1] = [float(level) for level in levels]
+        x = self.scaler.transform(buffer)
+        return np.maximum(0.0, self.model.predict_scalar(x))
+
     def predict_instructions(self, counters: CounterSet,
                              level: int) -> float:
         """Predicted per-cluster instructions of the next epoch."""
         ratio = self.predict_ratio(counters, level)
         return ratio * counters["inst_total"]
+
+    def predict_instructions_batch(self, counter_sets: list[CounterSet],
+                                   levels: list[int]) -> list[float]:
+        """Predicted next-epoch instructions for a cluster batch."""
+        ratios = self.predict_ratios(counter_sets, levels)
+        return [float(ratio) * counters["inst_total"]
+                for ratio, counters in zip(ratios, counter_sets)]

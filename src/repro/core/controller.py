@@ -134,18 +134,26 @@ class SSMDVFSController(BasePolicy):
         calibrator = self.model.calibrator
 
         if self.per_cluster:
-            levels = []
+            # Split drained clusters (parked at the slowest point) from
+            # active ones, then run the Decision-maker and Calibrator
+            # over all active clusters as single batched forward passes.
+            min_level = self.simulator.arch.vf_table.min_level
+            active_indices = [index for index, counters
+                              in enumerate(record.cluster_counters)
+                              if counters["inst_total"] > 0]
+            levels = [min_level] * len(record.cluster_counters)
             self._pending = []
-            for index, counters in enumerate(record.cluster_counters):
-                if counters["inst_total"] <= 0:
-                    # Cluster drained: park it at the slowest point.
-                    levels.append(self.simulator.arch.vf_table.min_level)
-                    continue
-                level = decision_maker.predict_level(counters,
-                                                     self.working_preset)
-                levels.append(level)
-                self._pending.append((index, calibrator.predict_instructions(
-                    counters, level)))
+            if active_indices:
+                active_counters = [record.cluster_counters[index]
+                                   for index in active_indices]
+                predicted_levels = decision_maker.predict_levels(
+                    active_counters, self.working_preset)
+                predicted_insts = calibrator.predict_instructions_batch(
+                    active_counters, predicted_levels)
+                for index, level, predicted in zip(
+                        active_indices, predicted_levels, predicted_insts):
+                    levels[index] = level
+                    self._pending.append((index, predicted))
             return levels
 
         level = decision_maker.predict_level(record.counters,

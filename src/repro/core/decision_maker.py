@@ -39,11 +39,27 @@ class DecisionMaker:
         self.extractor = extractor
         self.scaler = scaler
         self.num_levels = num_levels
+        # Reusable (n, features + 1) input buffer for batched inference;
+        # grown/replaced on demand when the batch size changes.
+        self._raw_buffer: np.ndarray | None = None
 
     def _input_vector(self, counters: CounterSet, preset: float) -> np.ndarray:
         features = self.extractor.extract(counters)
         raw = np.concatenate([features, [preset]])
         return self.scaler.transform(raw)
+
+    def _input_matrix(self, counter_sets: list[CounterSet],
+                      preset: float) -> np.ndarray:
+        """Scaled (n, features + 1) input rows for a cluster batch."""
+        n = len(counter_sets)
+        width = self.extractor.width + 1
+        buffer = self._raw_buffer
+        if buffer is None or buffer.shape[0] != n:
+            buffer = self._raw_buffer = np.empty((n, width),
+                                                 dtype=np.float64)
+        self.extractor.extract_matrix(counter_sets, out=buffer[:, :-1])
+        buffer[:, -1] = preset
+        return self.scaler.transform(buffer)
 
     def predict_level(self, counters: CounterSet, preset: float) -> int:
         """The V/f level for the next epoch."""
@@ -54,11 +70,12 @@ class DecisionMaker:
 
     def predict_levels(self, counter_sets: list[CounterSet],
                        preset: float) -> list[int]:
-        """Vectorised per-cluster prediction."""
+        """Per-cluster prediction as one (n, features) forward pass."""
         if not counter_sets:
             raise PolicyError("no counters given")
-        rows = np.stack([self._input_vector(c, preset)
-                         for c in counter_sets])
+        if preset < 0:
+            raise PolicyError("preset cannot be negative")
+        rows = self._input_matrix(counter_sets, preset)
         return [int(v) for v in self.model.predict_class(rows)]
 
     def level_probabilities(self, counters: CounterSet,

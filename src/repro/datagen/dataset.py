@@ -220,7 +220,7 @@ class DVFSDataset:
         if not 0 <= breakpoint_index < self.num_breakpoints:
             raise DatasetError("breakpoint index out of range")
         row = self.counters[breakpoint_index]
-        return CounterSet(dict(zip(COUNTER_NAMES, row.tolist())))
+        return CounterSet.from_vector(np.array(row, dtype=np.float64))
 
     def throughput_ratios(self) -> np.ndarray:
         """Calibrator targets: next-window over feature-window counts."""

@@ -10,11 +10,12 @@ with a shift, since epochs have a fixed cycle budget per frequency.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from ..errors import DatasetError
-from ..gpu.counters import COUNTER_SCHEMA, CounterSet
+from ..gpu.counters import COUNTER_INDEX, COUNTER_SCHEMA, CounterSet
 
 #: Counters that are raw counts (normalised per kilocycle).
 _COUNT_COUNTERS = frozenset({
@@ -39,6 +40,22 @@ def epoch_cycles(counters: CounterSet, issue_width: float) -> float:
     if issue_width <= 0:
         raise DatasetError("issue_width must be positive")
     return counters["issue_slots"] / issue_width
+
+
+_ISSUE_SLOT_INDEX = COUNTER_INDEX["issue_slots"]
+
+
+@lru_cache(maxsize=64)
+def _extraction_plan(names: tuple[str, ...]) -> tuple[np.ndarray, np.ndarray]:
+    """(counter-vector column indices, per-kilocycle mask) for ``names``.
+
+    Memoised per name tuple so repeated extraction — one call per epoch
+    per cluster at runtime — gathers columns instead of looping names.
+    """
+    indices = np.array([COUNTER_INDEX[name] for name in names])
+    normalise = np.array([name in _COUNT_COUNTERS or name in _BYTE_COUNTERS
+                          for name in names])
+    return indices, normalise
 
 
 @dataclass(frozen=True)
@@ -72,22 +89,35 @@ class FeatureExtractor:
 
     def extract(self, counters: CounterSet) -> np.ndarray:
         """Normalised feature vector for one epoch's counters."""
-        cycles = max(1.0, epoch_cycles(counters, self.issue_width))
+        indices, normalise = _extraction_plan(self.names)
+        raw = counters.as_vector()
+        cycles = max(1.0, raw[_ISSUE_SLOT_INDEX] / self.issue_width)
         kilocycles = cycles / 1000.0
-        values = np.empty(len(self.names), dtype=np.float64)
-        for index, name in enumerate(self.names):
-            raw = counters[name]
-            if name in _COUNT_COUNTERS or name in _BYTE_COUNTERS:
-                values[index] = raw / kilocycles
-            else:
-                values[index] = raw
+        values = raw[indices]
+        values[normalise] /= kilocycles
         return values
 
-    def extract_matrix(self, counter_sets: list[CounterSet]) -> np.ndarray:
-        """Stack feature vectors for many epochs into (n, width)."""
+    def extract_matrix(self, counter_sets: list[CounterSet],
+                       out: np.ndarray | None = None) -> np.ndarray:
+        """Feature vectors for many epochs as one (n, width) matrix.
+
+        One gather + one masked column division over the stacked
+        counter vectors; ``out`` (when given) receives the result in
+        place so callers can reuse a preallocated buffer.
+        """
         if not counter_sets:
             raise DatasetError("no counter sets to extract")
-        return np.stack([self.extract(c) for c in counter_sets])
+        indices, normalise = _extraction_plan(self.names)
+        matrix = CounterSet.stack(counter_sets)
+        cycles = np.maximum(1.0, matrix[:, _ISSUE_SLOT_INDEX]
+                            / self.issue_width)
+        kilocycles = cycles / 1000.0
+        values = matrix[:, indices]
+        values[:, normalise] /= kilocycles[:, None]
+        if out is not None:
+            out[:] = values
+            return out
+        return values
 
 
 class FeatureScaler:

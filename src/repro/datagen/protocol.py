@@ -48,6 +48,11 @@ class ProtocolConfig:
     max_breakpoints_per_kernel: int = 12
     augment_feature_levels: bool = True
     seed: int = 0
+    #: Memoise interval-model solves across the 6-way V/f replays.
+    #: Results are bit-identical either way (the cache stores exact
+    #: inputs/outputs); the flag exists for benchmarking and as a
+    #: diagnostic escape hatch.
+    use_solution_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.epoch_s <= 0:
@@ -207,12 +212,20 @@ def collect_breakpoint(simulator: GPUSimulator, breakpoint_index: int,
 
 def generate_for_kernel(kernel: KernelProfile, arch: GPUArchConfig,
                         power_model: PowerModel | None = None,
-                        config: ProtocolConfig | None = None
+                        config: ProtocolConfig | None = None,
+                        stats: CampaignStats | None = None
                         ) -> list[BreakpointSamples]:
-    """Run the full protocol over one kernel."""
+    """Run the full protocol over one kernel.
+
+    ``stats`` (when given) receives the simulator's interval-model
+    solution-cache counters as ``solve_cache_hit`` / ``solve_cache_miss``
+    — the replay protocol re-executes each workload stretch at up to
+    seven operating points, which is where the hits come from.
+    """
     config = config or ProtocolConfig()
     simulator = GPUSimulator(arch, kernel, power_model or PowerModel(),
-                             seed=config.seed, epoch_s=config.epoch_s)
+                             seed=config.seed, epoch_s=config.epoch_s,
+                             use_solution_cache=config.use_solution_cache)
     simulator.set_all_levels(arch.vf_table.default_level)
     breakpoints: list[BreakpointSamples] = []
     # Keep a margin so every replay has room to reach its workload mark
@@ -233,6 +246,10 @@ def generate_for_kernel(kernel: KernelProfile, arch: GPUArchConfig,
             break
         breakpoints.append(
             collect_breakpoint(simulator, len(breakpoints), config))
+    cache = simulator.solution_cache
+    if stats is not None and cache is not None:
+        stats.count("solve_cache_hit", cache.hits)
+        stats.count("solve_cache_miss", cache.misses)
     return breakpoints
 
 
@@ -265,15 +282,20 @@ def scale_kernel_for_protocol(kernel: KernelProfile, arch: GPUArchConfig,
     return kernel.with_iterations(kernel.iterations * factor)
 
 
-def _kernel_task(task: tuple) -> list[BreakpointSamples]:
+def _kernel_task(task: tuple) -> tuple[list[BreakpointSamples], dict[str, int]]:
     """Process-pool unit of work: one kernel's breakpoint/V/f replays.
 
     Module-level so it pickles by reference; every task builds its own
     simulator from the explicit config seed, so the output is identical
     whether tasks run serially in-process or fanned out over workers.
+    Counters (solve-cache hits/misses) travel back with the chunk — a
+    worker process cannot mutate the caller's :class:`CampaignStats`.
     """
     kernel, arch, power_model, config = task
-    return generate_for_kernel(kernel, arch, power_model, config)
+    local = CampaignStats()
+    chunk = generate_for_kernel(kernel, arch, power_model, config,
+                                stats=local)
+    return chunk, local.counters
 
 
 def generate_chunks_for_suite(kernels: list[KernelProfile],
@@ -300,8 +322,14 @@ def generate_chunks_for_suite(kernels: list[KernelProfile],
         if auto_scale:
             kernel = scale_kernel_for_protocol(kernel, arch, config)
         tasks.append((kernel, arch, power_model, config))
-    chunks = parallel_map(_kernel_task, tasks, workers=workers, stats=stats,
-                          stage="datagen")
+    results = parallel_map(_kernel_task, tasks, workers=workers, stats=stats,
+                           stage="datagen")
+    chunks = []
+    for chunk, counters in results:
+        chunks.append(chunk)
+        if stats is not None:
+            for name, amount in counters.items():
+                stats.count(name, amount)
     if not any(chunks):
         raise DatasetError("no breakpoints generated; kernels too short?")
     return chunks

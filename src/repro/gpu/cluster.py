@@ -6,19 +6,105 @@ inside one phase segment and one noise chunk, so the interval model's
 stationarity assumption holds exactly.  The cluster accumulates an
 :class:`EpochActivity` record per DVFS epoch; the simulator turns that
 into performance counters and power numbers.
+
+Hot-path layout
+---------------
+The epoch loop accumulates into a preallocated numpy *activity vector*
+(:data:`NUM_ACTIVITY_SLOTS` slots) instead of ~25 scalar dataclass
+fields: each quantum contributes ``step_vector * instructions`` (one
+fused multiply + add) where the per-instruction step vector depends
+only on ``(phase, solution)`` and is therefore memoised alongside the
+interval-model solution in the :class:`~repro.gpu.interval_model.
+SolutionCache`.  :func:`build_counters_matrix` then turns a stack of
+activity vectors into the 47-counter schema for all clusters at once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import SimulationError
 from .arch import GPUArchConfig
-from .counters import CounterSet
-from .interval_model import ThroughputSolution, solve_throughput
+from .counters import COUNTER_NAMES, NUM_COUNTERS, CounterSet
+from .interval_model import SolutionCache, ThroughputSolution, solve_throughput
 from .kernels import KernelCursor, KernelProfile
 from .noise import WorkloadNoise
 from .phases import INSTRUCTION_CLASSES
+
+# ---------------------------------------------------------------------------
+# Activity-vector layout
+# ---------------------------------------------------------------------------
+#: Slot indices of the accumulated activity vector.  Slots 1..27 scale
+#: with the quantum's instruction count; slots 0 and 28 scale with the
+#: quantum's wall-clock time and are accumulated separately.
+A_BUSY_S = 0
+A_CYCLES = 1
+A_INSTRUCTIONS = 2
+A_CLASS0 = 3                       # 9 instruction classes: slots 3..11
+_N_CLASSES = len(INSTRUCTION_CLASSES)
+A_ISSUE_SLOTS = A_CLASS0 + _N_CLASSES          # 12
+A_STALL_MEM_LOAD = 13
+A_STALL_MEM_OTHER = 14
+A_STALL_CONTROL = 15
+A_STALL_SYNC = 16
+A_STALL_DATA = 17
+A_STALL_IDLE = 18
+A_L1_READ_ACCESS = 19
+A_L1_READ_MISS = 20
+A_L1_WRITE_ACCESS = 21
+A_L1_WRITE_MISS = 22
+A_L2_ACCESS = 23
+A_L2_MISS = 24
+A_DRAM_BYTES = 25
+A_WARP_INST = 26
+A_MEM_LATENCY = 27
+A_BW_UTIL_TIME = 28
+NUM_ACTIVITY_SLOTS = 29
+
+_CLASS_SLICE = slice(A_CLASS0, A_CLASS0 + _N_CLASSES)
+
+
+def step_vector_for(arch: GPUArchConfig, phase, solution: ThroughputSolution
+                    ) -> np.ndarray:
+    """Per-instruction activity contributions of one (phase, solution).
+
+    Multiplying this vector by a quantum's instruction count yields the
+    quantum's contribution to every instruction-proportional activity
+    slot; the time-proportional slots (busy time, bandwidth-utilisation
+    time) are zero here and handled by the epoch loop.
+    """
+    v = np.zeros(NUM_ACTIVITY_SLOTS, dtype=np.float64)
+    cpi = solution.cycles_per_instruction
+    v[A_CYCLES] = cpi
+    v[A_INSTRUCTIONS] = 1.0
+    mix = phase.mix
+    for offset, cls in enumerate(INSTRUCTION_CLASSES):
+        v[A_CLASS0 + offset] = mix.get(cls, 0.0)
+    v[A_ISSUE_SLOTS] = cpi * arch.issue_width
+    v[A_STALL_MEM_LOAD] = solution.stall_mem_load
+    v[A_STALL_MEM_OTHER] = solution.stall_mem_other
+    v[A_STALL_CONTROL] = solution.stall_control
+    v[A_STALL_SYNC] = solution.stall_sync
+    v[A_STALL_DATA] = solution.stall_data
+    v[A_STALL_IDLE] = solution.stall_idle
+    loads = phase.load_fraction
+    stores = phase.store_fraction
+    l1_read_miss = loads * phase.l1_miss_rate
+    l1_write_miss = stores * 0.9  # write-through-ish global stores
+    l2_access = l1_read_miss + l1_write_miss
+    l2_miss = l2_access * phase.l2_miss_rate
+    v[A_L1_READ_ACCESS] = loads
+    v[A_L1_READ_MISS] = l1_read_miss
+    v[A_L1_WRITE_ACCESS] = stores
+    v[A_L1_WRITE_MISS] = l1_write_miss
+    v[A_L2_ACCESS] = l2_access
+    v[A_L2_MISS] = l2_miss
+    v[A_DRAM_BYTES] = l2_miss * arch.cache_line_bytes
+    v[A_WARP_INST] = phase.active_warps
+    v[A_MEM_LATENCY] = solution.mem_latency_cycles
+    return v
 
 
 @dataclass
@@ -51,6 +137,75 @@ class EpochActivity:
     mem_latency_weighted: float = 0.0
     bandwidth_util_time: float = 0.0
     finished: bool = False
+    #: Cached activity vector (filled by the epoch loop; ``None`` for
+    #: activities built field-by-field, e.g. by the detailed model).
+    vector: np.ndarray | None = field(default=None, compare=False,
+                                      repr=False)
+
+    @classmethod
+    def from_vector(cls, vector: np.ndarray, *, duration_s: float,
+                    frequency_hz: float, voltage_v: float,
+                    finished: bool) -> "EpochActivity":
+        """Build an activity record around an accumulated vector."""
+        v = vector
+        return cls(
+            duration_s=duration_s,
+            busy_s=float(v[A_BUSY_S]),
+            frequency_hz=frequency_hz,
+            voltage_v=voltage_v,
+            cycles=float(v[A_CYCLES]),
+            instructions=float(v[A_INSTRUCTIONS]),
+            inst_by_class=dict(zip(INSTRUCTION_CLASSES,
+                                   v[_CLASS_SLICE].tolist())),
+            issue_slots=float(v[A_ISSUE_SLOTS]),
+            stall_mem_load=float(v[A_STALL_MEM_LOAD]),
+            stall_mem_other=float(v[A_STALL_MEM_OTHER]),
+            stall_control=float(v[A_STALL_CONTROL]),
+            stall_sync=float(v[A_STALL_SYNC]),
+            stall_data=float(v[A_STALL_DATA]),
+            stall_idle=float(v[A_STALL_IDLE]),
+            l1_read_access=float(v[A_L1_READ_ACCESS]),
+            l1_read_miss=float(v[A_L1_READ_MISS]),
+            l1_write_access=float(v[A_L1_WRITE_ACCESS]),
+            l1_write_miss=float(v[A_L1_WRITE_MISS]),
+            l2_access=float(v[A_L2_ACCESS]),
+            l2_miss=float(v[A_L2_MISS]),
+            dram_bytes=float(v[A_DRAM_BYTES]),
+            warp_inst_weighted=float(v[A_WARP_INST]),
+            mem_latency_weighted=float(v[A_MEM_LATENCY]),
+            bandwidth_util_time=float(v[A_BW_UTIL_TIME]),
+            finished=finished,
+            vector=vector,
+        )
+
+    def as_vector(self) -> np.ndarray:
+        """The activity vector (cached, or rebuilt from the fields)."""
+        if self.vector is not None:
+            return self.vector
+        v = np.zeros(NUM_ACTIVITY_SLOTS, dtype=np.float64)
+        v[A_BUSY_S] = self.busy_s
+        v[A_CYCLES] = self.cycles
+        v[A_INSTRUCTIONS] = self.instructions
+        for offset, cls in enumerate(INSTRUCTION_CLASSES):
+            v[A_CLASS0 + offset] = self.inst_by_class.get(cls, 0.0)
+        v[A_ISSUE_SLOTS] = self.issue_slots
+        v[A_STALL_MEM_LOAD] = self.stall_mem_load
+        v[A_STALL_MEM_OTHER] = self.stall_mem_other
+        v[A_STALL_CONTROL] = self.stall_control
+        v[A_STALL_SYNC] = self.stall_sync
+        v[A_STALL_DATA] = self.stall_data
+        v[A_STALL_IDLE] = self.stall_idle
+        v[A_L1_READ_ACCESS] = self.l1_read_access
+        v[A_L1_READ_MISS] = self.l1_read_miss
+        v[A_L1_WRITE_ACCESS] = self.l1_write_access
+        v[A_L1_WRITE_MISS] = self.l1_write_miss
+        v[A_L2_ACCESS] = self.l2_access
+        v[A_L2_MISS] = self.l2_miss
+        v[A_DRAM_BYTES] = self.dram_bytes
+        v[A_WARP_INST] = self.warp_inst_weighted
+        v[A_MEM_LATENCY] = self.mem_latency_weighted
+        v[A_BW_UTIL_TIME] = self.bandwidth_util_time
+        return v
 
     @property
     def stall_mem(self) -> float:
@@ -95,13 +250,17 @@ class ClusterState:
 
     def __init__(self, arch: GPUArchConfig, kernel: KernelProfile,
                  noise: WorkloadNoise, cluster_id: int = 0,
-                 skew_instructions: float = 0.0) -> None:
+                 skew_instructions: float = 0.0,
+                 solution_cache: SolutionCache | None = None) -> None:
         self.arch = arch
         self.cluster_id = int(cluster_id)
         self.cursor = KernelCursor(kernel, skew_instructions=skew_instructions)
         self.noise = noise
         self.level = arch.vf_table.default_level
+        self.solution_cache = solution_cache
         self._pending_transition_s = 0.0
+        self._acc = np.zeros(NUM_ACTIVITY_SLOTS, dtype=np.float64)
+        self._scratch = np.empty(NUM_ACTIVITY_SLOTS, dtype=np.float64)
 
     # ------------------------------------------------------------------
     # DVFS control
@@ -134,16 +293,27 @@ class ClusterState:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _solve_current(self) -> ThroughputSolution:
+    def _solve_current(self) -> tuple[ThroughputSolution, np.ndarray]:
+        """Interval-model solution and step vector at the cursor position.
+
+        Served from the shared :class:`SolutionCache` when one is
+        attached; the uncached path computes the identical values, so
+        caching never changes results.
+        """
         phase = self.cursor.current_phase
         chunk = self.noise.chunk_of(self.cursor.global_instructions_done)
         warp_m, miss_m, cpi_m = self.noise.multipliers(chunk)
-        point = self.arch.vf_table[self.level]
-        return solve_throughput(
-            self.arch, phase, point.frequency_hz,
+        frequency_hz = self.arch.vf_table[self.level].frequency_hz
+        cache = self.solution_cache
+        if cache is not None:
+            return cache.solve(self.arch, phase, frequency_hz,
+                               warp_m, miss_m, cpi_m)
+        solution = solve_throughput(
+            self.arch, phase, frequency_hz,
             warp_multiplier=warp_m, miss_multiplier=miss_m,
             cpi_multiplier=cpi_m,
         )
+        return solution, step_vector_for(self.arch, phase, solution)
 
     def run_epoch(self, epoch_s: float) -> EpochActivity:
         """Advance the cluster by ``epoch_s`` seconds of wall-clock time.
@@ -154,11 +324,11 @@ class ClusterState:
         if epoch_s <= 0:
             raise SimulationError("epoch duration must be positive")
         point = self.arch.vf_table[self.level]
-        activity = EpochActivity(
-            duration_s=epoch_s,
-            frequency_hz=point.frequency_hz,
-            voltage_v=point.voltage_v,
-        )
+        acc = self._acc
+        scratch = self._scratch
+        acc.fill(0.0)
+        busy_s = 0.0
+        bw_util_time = 0.0
 
         elapsed = 0.0
         # IVR transition dead time: leakage burns, nothing issues.
@@ -166,16 +336,42 @@ class ClusterState:
             dead = min(self._pending_transition_s, epoch_s)
             self._pending_transition_s -= dead
             elapsed += dead
-            activity.cycles += dead * point.frequency_hz
+            acc[A_CYCLES] += dead * point.frequency_hz
 
-        while elapsed < epoch_s - 1e-15 and not self.cursor.finished:
-            solution = self._solve_current()
-            phase = self.cursor.current_phase
-            position = self.cursor.global_instructions_done
-            chunk = self.noise.chunk_of(position)
-            to_chunk_end = self.noise.chunk_end(chunk) - position
-            boundary = min(self.cursor.instructions_remaining_in_segment,
-                           to_chunk_end)
+        # The quantum loop runs once per (phase segment x noise chunk x
+        # epoch) slice — tens of thousands of times per simulated
+        # second — so cursor and noise state are kept in locals and
+        # written back once at the end.  The level (hence frequency) is
+        # fixed for the whole epoch: set_level only runs between epochs.
+        cursor = self.cursor
+        kernel = cursor.kernel
+        num_segments = kernel.num_segments
+        seg_index = cursor.segment_index
+        inst_done = cursor.instructions_done
+        completed = cursor._completed_instructions
+        noise = self.noise
+        chunk_insts = noise.chunk_instructions
+        frequency_hz = point.frequency_hz
+        arch = self.arch
+        cache = self.solution_cache
+        phase = kernel.segment(seg_index) if seg_index < num_segments else None
+
+        while elapsed < epoch_s - 1e-15 and seg_index < num_segments:
+            position = completed + inst_done
+            chunk = int(position // chunk_insts)
+            warp_m, miss_m, cpi_m = noise.multipliers(chunk)
+            if cache is not None:
+                solution, step_vec = cache.solve(arch, phase, frequency_hz,
+                                                 warp_m, miss_m, cpi_m)
+            else:
+                solution = solve_throughput(
+                    arch, phase, frequency_hz,
+                    warp_multiplier=warp_m, miss_multiplier=miss_m,
+                    cpi_multiplier=cpi_m,
+                )
+                step_vec = step_vector_for(arch, phase, solution)
+            to_chunk_end = float((chunk + 1) * chunk_insts) - position
+            boundary = min(phase.instructions - inst_done, to_chunk_end)
             time_left = epoch_s - elapsed
             time_to_boundary = solution.time_for_instructions(boundary)
             if time_to_boundary <= time_left:
@@ -188,54 +384,40 @@ class ClusterState:
                 # Degenerate: throughput too low to make progress in the
                 # remaining slice; account for the idle tail and stop.
                 break
-            self.cursor.advance(step_insts)
+            # Inline cursor.advance(step_insts): the step never crosses a
+            # segment boundary (it is bounded by the remaining segment
+            # instructions above), so one add plus a completion check.
+            inst_done += step_insts
+            if inst_done >= phase.instructions - 1e-9:
+                completed += phase.instructions
+                seg_index += 1
+                inst_done = 0.0
+                phase = (kernel.segment(seg_index)
+                         if seg_index < num_segments else None)
             elapsed += step_time
-            self._accumulate(activity, phase, solution, step_insts, step_time)
+            np.multiply(step_vec, step_insts, out=scratch)
+            acc += scratch
+            busy_s += step_time
+            bw_util_time += step_time * solution.bandwidth_utilization
+
+        cursor.segment_index = seg_index
+        cursor.instructions_done = inst_done
+        cursor._completed_instructions = completed
 
         # Idle tail (kernel finished or no progress possible).
         if elapsed < epoch_s:
             idle = epoch_s - elapsed
-            activity.cycles += idle * point.frequency_hz
+            acc[A_CYCLES] += idle * point.frequency_hz
 
-        activity.finished = self.cursor.finished
-        return activity
-
-    def _accumulate(self, activity: EpochActivity, phase, solution,
-                    instructions: float, step_time: float) -> None:
-        arch = self.arch
-        activity.busy_s += step_time
-        activity.cycles += instructions * solution.cycles_per_instruction
-        activity.instructions += instructions
-        for cls, fraction in phase.mix.items():
-            activity.inst_by_class[cls] += instructions * fraction
-        activity.issue_slots += (instructions * solution.cycles_per_instruction
-                                 * arch.issue_width)
-        activity.stall_mem_load += instructions * solution.stall_mem_load
-        activity.stall_mem_other += instructions * solution.stall_mem_other
-        activity.stall_control += instructions * solution.stall_control
-        activity.stall_sync += instructions * solution.stall_sync
-        activity.stall_data += instructions * solution.stall_data
-        activity.stall_idle += instructions * solution.stall_idle
-
-        loads = instructions * phase.load_fraction
-        stores = instructions * phase.store_fraction
-        l1_read_miss = loads * phase.l1_miss_rate
-        l1_write_miss = stores * 0.9  # write-through-ish global stores
-        l2_access = l1_read_miss + l1_write_miss
-        l2_miss = l2_access * phase.l2_miss_rate
-        activity.l1_read_access += loads
-        activity.l1_read_miss += l1_read_miss
-        activity.l1_write_access += stores
-        activity.l1_write_miss += l1_write_miss
-        activity.l2_access += l2_access
-        activity.l2_miss += l2_miss
-        activity.dram_bytes += l2_miss * arch.cache_line_bytes
-
-        activity.warp_inst_weighted += instructions * phase.active_warps
-        activity.mem_latency_weighted += (instructions
-                                          * solution.mem_latency_cycles)
-        activity.bandwidth_util_time += (step_time
-                                         * solution.bandwidth_utilization)
+        acc[A_BUSY_S] = busy_s
+        acc[A_BW_UTIL_TIME] = bw_util_time
+        return EpochActivity.from_vector(
+            acc.copy(),
+            duration_s=epoch_s,
+            frequency_hz=point.frequency_hz,
+            voltage_v=point.voltage_v,
+            finished=seg_index >= num_segments,
+        )
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -255,70 +437,126 @@ class ClusterState:
         self._pending_transition_s = state["pending_transition_s"]
 
 
-def build_counters(activity: EpochActivity, arch: GPUArchConfig) -> CounterSet:
-    """Turn an activity record into the 47-counter schema.
+# ---------------------------------------------------------------------------
+# Counter building (vectorised over clusters)
+# ---------------------------------------------------------------------------
+_CIDX = {name: index for index, name in enumerate(COUNTER_NAMES)}
+_INST_CLASS_COUNTERS = ("inst_fp32", "inst_fp64", "inst_int", "inst_sfu",
+                        "inst_load", "inst_store", "inst_shared",
+                        "inst_branch", "inst_sync")
+#: Counter columns that mirror instruction-class activity slots, in
+#: :data:`INSTRUCTION_CLASSES` order.
+_INST_CLASS_COLUMNS = np.array([_CIDX[name]
+                                for name in _INST_CLASS_COUNTERS])
 
-    Power counters are filled separately by the simulator once the power
-    model has been evaluated for the epoch.
+
+def build_counters_matrix(activity: np.ndarray,
+                          arch: GPUArchConfig) -> np.ndarray:
+    """Turn stacked activity vectors into 47-counter rows.
+
+    ``activity`` has shape ``(clusters, NUM_ACTIVITY_SLOTS)``; the
+    result has shape ``(clusters, NUM_COUNTERS)`` in
+    :data:`~repro.gpu.counters.COUNTER_NAMES` order.  Power counters are
+    filled separately by the simulator once the power model has been
+    evaluated for the epoch.  Guards mirror the scalar accounting:
+    ratio counters stay zero when their denominator is zero.
     """
-    counters = CounterSet()
-    inst = activity.instructions
-    counters["inst_total"] = inst
-    counters["ipc"] = activity.ipc
-    counters["inst_fp32"] = activity.inst_by_class["fp32"]
-    counters["inst_fp64"] = activity.inst_by_class["fp64"]
-    counters["inst_int"] = activity.inst_by_class["int"]
-    counters["inst_sfu"] = activity.inst_by_class["sfu"]
-    counters["inst_load"] = activity.inst_by_class["load"]
-    counters["inst_store"] = activity.inst_by_class["store"]
-    counters["inst_shared"] = activity.inst_by_class["shared"]
-    counters["inst_branch"] = activity.inst_by_class["branch"]
-    counters["inst_sync"] = activity.inst_by_class["sync"]
-    if inst > 0:
-        counters["frac_fp32"] = activity.inst_by_class["fp32"] / inst
-        counters["frac_fp64"] = activity.inst_by_class["fp64"] / inst
-        counters["frac_mem"] = (activity.inst_by_class["load"]
-                                + activity.inst_by_class["store"]) / inst
-        counters["frac_branch"] = activity.inst_by_class["branch"] / inst
-        warps = max(1.0, activity.avg_active_warps)
-        counters["inst_per_warp"] = inst / warps
-    counters["issue_slots"] = activity.issue_slots
+    a = np.asarray(activity, dtype=np.float64)
+    if a.ndim != 2 or a.shape[1] != NUM_ACTIVITY_SLOTS:
+        raise SimulationError(
+            f"expected activity of shape (n, {NUM_ACTIVITY_SLOTS}), "
+            f"got {a.shape}"
+        )
+    n = a.shape[0]
+    out = np.zeros((n, NUM_COUNTERS), dtype=np.float64)
 
-    counters["stall_total"] = activity.stall_total
-    counters["stall_mem_hazard"] = activity.stall_mem
-    counters["stall_mem_hazard_load"] = activity.stall_mem_load
-    counters["stall_mem_hazard_nonload"] = activity.stall_mem_other
-    counters["stall_control"] = activity.stall_control
-    counters["stall_sync"] = activity.stall_sync
-    counters["stall_data"] = activity.stall_data
-    counters["stall_idle"] = activity.stall_idle
-    if activity.stall_total > 0:
-        counters["frac_stall_mem"] = activity.stall_mem / activity.stall_total
-        counters["frac_stall_control"] = (activity.stall_control
-                                          / activity.stall_total)
-    counters["avg_mem_latency"] = activity.avg_mem_latency
-    stalled_share = (activity.stall_total / activity.issue_slots
-                     if activity.issue_slots > 0 else 0.0)
-    counters["eligible_warps"] = activity.avg_active_warps * (1.0 - stalled_share)
-    if activity.issue_slots > 0:
-        counters["warp_issue_efficiency"] = inst / activity.issue_slots
+    inst = a[:, A_INSTRUCTIONS]
+    cycles = a[:, A_CYCLES]
+    has_inst = inst > 0
+    safe_inst = np.where(has_inst, inst, 1.0)
 
-    counters["l1_read_access"] = activity.l1_read_access
-    counters["l1_read_miss"] = activity.l1_read_miss
-    counters["l1_read_hit"] = activity.l1_read_access - activity.l1_read_miss
-    if activity.l1_read_access > 0:
-        counters["l1_read_miss_rate"] = (activity.l1_read_miss
-                                         / activity.l1_read_access)
-    counters["l1_write_access"] = activity.l1_write_access
-    counters["l1_write_miss"] = activity.l1_write_miss
-    counters["l2_access"] = activity.l2_access
-    counters["l2_miss"] = activity.l2_miss
-    if activity.l2_access > 0:
-        counters["l2_miss_rate"] = activity.l2_miss / activity.l2_access
-    counters["dram_bytes"] = activity.dram_bytes
+    out[:, _CIDX["inst_total"]] = inst
+    out[:, _CIDX["ipc"]] = np.where(cycles > 0,
+                                    inst / np.where(cycles > 0, cycles, 1.0),
+                                    0.0)
+    out[:, _INST_CLASS_COLUMNS] = a[:, _CLASS_SLICE]
+    out[:, _CIDX["frac_fp32"]] = np.where(
+        has_inst, a[:, A_CLASS0 + 0] / safe_inst, 0.0)
+    out[:, _CIDX["frac_fp64"]] = np.where(
+        has_inst, a[:, A_CLASS0 + 1] / safe_inst, 0.0)
+    mem_inst = (a[:, A_CLASS0 + INSTRUCTION_CLASSES.index("load")]
+                + a[:, A_CLASS0 + INSTRUCTION_CLASSES.index("store")])
+    out[:, _CIDX["frac_mem"]] = np.where(has_inst, mem_inst / safe_inst, 0.0)
+    out[:, _CIDX["frac_branch"]] = np.where(
+        has_inst,
+        a[:, A_CLASS0 + INSTRUCTION_CLASSES.index("branch")] / safe_inst,
+        0.0)
+    avg_warps = np.where(has_inst, a[:, A_WARP_INST] / safe_inst, 0.0)
+    out[:, _CIDX["inst_per_warp"]] = np.where(
+        has_inst, inst / np.maximum(1.0, avg_warps), 0.0)
+    issue_slots = a[:, A_ISSUE_SLOTS]
+    out[:, _CIDX["issue_slots"]] = issue_slots
 
-    counters["active_warps"] = activity.avg_active_warps
-    counters["occupancy"] = (activity.avg_active_warps
-                             / arch.max_warps_per_cluster)
-    counters["bandwidth_utilization"] = activity.avg_bandwidth_utilization
-    return counters
+    stall_total = (a[:, A_STALL_MEM_LOAD] + a[:, A_STALL_MEM_OTHER]
+                   + a[:, A_STALL_CONTROL] + a[:, A_STALL_SYNC]
+                   + a[:, A_STALL_DATA] + a[:, A_STALL_IDLE])
+    stall_mem = a[:, A_STALL_MEM_LOAD] + a[:, A_STALL_MEM_OTHER]
+    out[:, _CIDX["stall_total"]] = stall_total
+    out[:, _CIDX["stall_mem_hazard"]] = stall_mem
+    out[:, _CIDX["stall_mem_hazard_load"]] = a[:, A_STALL_MEM_LOAD]
+    out[:, _CIDX["stall_mem_hazard_nonload"]] = a[:, A_STALL_MEM_OTHER]
+    out[:, _CIDX["stall_control"]] = a[:, A_STALL_CONTROL]
+    out[:, _CIDX["stall_sync"]] = a[:, A_STALL_SYNC]
+    out[:, _CIDX["stall_data"]] = a[:, A_STALL_DATA]
+    out[:, _CIDX["stall_idle"]] = a[:, A_STALL_IDLE]
+    has_stall = stall_total > 0
+    safe_stall = np.where(has_stall, stall_total, 1.0)
+    out[:, _CIDX["frac_stall_mem"]] = np.where(
+        has_stall, stall_mem / safe_stall, 0.0)
+    out[:, _CIDX["frac_stall_control"]] = np.where(
+        has_stall, a[:, A_STALL_CONTROL] / safe_stall, 0.0)
+    out[:, _CIDX["avg_mem_latency"]] = np.where(
+        has_inst, a[:, A_MEM_LATENCY] / safe_inst, 0.0)
+    has_slots = issue_slots > 0
+    safe_slots = np.where(has_slots, issue_slots, 1.0)
+    stalled_share = np.where(has_slots, stall_total / safe_slots, 0.0)
+    out[:, _CIDX["eligible_warps"]] = avg_warps * (1.0 - stalled_share)
+    out[:, _CIDX["warp_issue_efficiency"]] = np.where(
+        has_slots, inst / safe_slots, 0.0)
+
+    l1_read_access = a[:, A_L1_READ_ACCESS]
+    l1_read_miss = a[:, A_L1_READ_MISS]
+    out[:, _CIDX["l1_read_access"]] = l1_read_access
+    out[:, _CIDX["l1_read_miss"]] = l1_read_miss
+    out[:, _CIDX["l1_read_hit"]] = l1_read_access - l1_read_miss
+    has_l1 = l1_read_access > 0
+    out[:, _CIDX["l1_read_miss_rate"]] = np.where(
+        has_l1, l1_read_miss / np.where(has_l1, l1_read_access, 1.0), 0.0)
+    out[:, _CIDX["l1_write_access"]] = a[:, A_L1_WRITE_ACCESS]
+    out[:, _CIDX["l1_write_miss"]] = a[:, A_L1_WRITE_MISS]
+    l2_access = a[:, A_L2_ACCESS]
+    out[:, _CIDX["l2_access"]] = l2_access
+    out[:, _CIDX["l2_miss"]] = a[:, A_L2_MISS]
+    has_l2 = l2_access > 0
+    out[:, _CIDX["l2_miss_rate"]] = np.where(
+        has_l2, a[:, A_L2_MISS] / np.where(has_l2, l2_access, 1.0), 0.0)
+    out[:, _CIDX["dram_bytes"]] = a[:, A_DRAM_BYTES]
+
+    out[:, _CIDX["active_warps"]] = avg_warps
+    out[:, _CIDX["occupancy"]] = avg_warps / arch.max_warps_per_cluster
+    busy = a[:, A_BUSY_S]
+    has_busy = busy > 0
+    out[:, _CIDX["bandwidth_utilization"]] = np.where(
+        has_busy, a[:, A_BW_UTIL_TIME] / np.where(has_busy, busy, 1.0), 0.0)
+    return out
+
+
+def build_counters(activity: EpochActivity, arch: GPUArchConfig) -> CounterSet:
+    """Turn one activity record into the 47-counter schema.
+
+    Scalar wrapper around :func:`build_counters_matrix`; power counters
+    are filled separately by the simulator once the power model has been
+    evaluated for the epoch.
+    """
+    row = build_counters_matrix(activity.as_vector()[None, :], arch)[0]
+    return CounterSet.from_vector(row)

@@ -14,8 +14,8 @@ a hardware counter file would contain.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum
+from typing import Mapping
 
 import numpy as np
 
@@ -132,56 +132,130 @@ def paper_category(name: str) -> str:
     return "power"
 
 
-@dataclass
+#: Counter name -> vector slot, shared by every :class:`CounterSet`.
+COUNTER_INDEX: dict[str, int] = {name: index
+                                 for index, name in enumerate(COUNTER_NAMES)}
+
+
 class CounterSet:
     """One epoch's worth of counters for one cluster.
 
     Behaves like a read-mostly mapping with a fixed schema.  Missing
     counters default to zero so partially instrumented code paths (the
     detailed model instruments fewer events) still produce valid sets.
+
+    Values live in one float64 vector in :data:`COUNTER_NAMES` order, so
+    vectorising a set (or a stack of sets) is a copy, not 47 dict
+    lookups.  The mapping-style interface is unchanged.
     """
 
-    values: dict[str, float] = field(default_factory=dict)
+    __slots__ = ("_values",)
 
-    def __post_init__(self) -> None:
-        unknown = set(self.values) - set(COUNTER_SCHEMA)
-        if unknown:
-            raise SimulationError(f"unknown counters: {sorted(unknown)}")
+    def __init__(self, values: Mapping[str, float] | np.ndarray | None = None
+                 ) -> None:
+        if values is None:
+            self._values = np.zeros(NUM_COUNTERS, dtype=np.float64)
+        elif isinstance(values, np.ndarray):
+            if values.shape != (NUM_COUNTERS,):
+                raise SimulationError(
+                    f"counter vector must have shape ({NUM_COUNTERS},), "
+                    f"got {values.shape}"
+                )
+            self._values = values.astype(np.float64)
+        else:
+            unknown = set(values) - set(COUNTER_SCHEMA)
+            if unknown:
+                raise SimulationError(f"unknown counters: {sorted(unknown)}")
+            self._values = np.zeros(NUM_COUNTERS, dtype=np.float64)
+            for name, value in values.items():
+                self._values[COUNTER_INDEX[name]] = float(value)
+
+    @classmethod
+    def from_vector(cls, vector: np.ndarray) -> "CounterSet":
+        """Wrap a full counter vector (adopted, not copied)."""
+        if vector.shape != (NUM_COUNTERS,):
+            raise SimulationError(
+                f"counter vector must have shape ({NUM_COUNTERS},), "
+                f"got {vector.shape}"
+            )
+        instance = cls.__new__(cls)
+        instance._values = np.ascontiguousarray(vector, dtype=np.float64)
+        return instance
+
+    @property
+    def values(self) -> dict[str, float]:
+        """Dict view of the non-zero counters (compatibility helper)."""
+        return {name: float(value)
+                for name, value in zip(COUNTER_NAMES, self._values)
+                if value != 0.0}
 
     def __getitem__(self, name: str) -> float:
-        if name not in COUNTER_SCHEMA:
+        index = COUNTER_INDEX.get(name)
+        if index is None:
             raise SimulationError(f"unknown counter {name!r}")
-        return self.values.get(name, 0.0)
+        return float(self._values[index])
 
     def __setitem__(self, name: str, value: float) -> None:
-        if name not in COUNTER_SCHEMA:
+        index = COUNTER_INDEX.get(name)
+        if index is None:
             raise SimulationError(f"unknown counter {name!r}")
-        self.values[name] = float(value)
+        self._values[index] = float(value)
 
     def __contains__(self, name: str) -> bool:
         return name in COUNTER_SCHEMA
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CounterSet):
+            return NotImplemented
+        return bool(np.array_equal(self._values, other._values))
+
+    def __repr__(self) -> str:
+        return f"CounterSet({self.values!r})"
+
+    # Old pickles (and cross-version worker payloads) carry the dict
+    # state of the former dataclass; accept both representations.
+    def __getstate__(self) -> np.ndarray:
+        return self._values
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, dict):
+            if "_values" in state:
+                state = state["_values"]
+            else:
+                state = CounterSet(state.get("values", {}))._values
+        self._values = np.asarray(state, dtype=np.float64)
+
     def as_vector(self, names: tuple[str, ...] = COUNTER_NAMES) -> np.ndarray:
         """Vectorise the selected counters in the given order."""
-        return np.array([self[name] for name in names], dtype=np.float64)
+        if names is COUNTER_NAMES:
+            return self._values.copy()
+        try:
+            indices = [COUNTER_INDEX[name] for name in names]
+        except KeyError as exc:
+            raise SimulationError(f"unknown counter {exc.args[0]!r}") from exc
+        return self._values[indices]
 
     def copy(self) -> "CounterSet":
         """Independent copy."""
-        return CounterSet(dict(self.values))
+        return CounterSet.from_vector(self._values.copy())
+
+    @staticmethod
+    def stack(sets: list["CounterSet"]) -> np.ndarray:
+        """Stack many sets into an ``(n, NUM_COUNTERS)`` matrix."""
+        if not sets:
+            raise SimulationError("cannot stack an empty counter list")
+        return np.stack([s._values for s in sets])
 
     @staticmethod
     def average(sets: list["CounterSet"]) -> "CounterSet":
         """Element-wise mean across clusters (the per-GPU counter view)."""
         if not sets:
             raise SimulationError("cannot average an empty counter list")
-        matrix = np.stack([s.as_vector() for s in sets])
-        mean = matrix.mean(axis=0)
-        return CounterSet(dict(zip(COUNTER_NAMES, mean.tolist())))
+        return CounterSet.from_vector(CounterSet.stack(sets).mean(axis=0))
 
     @staticmethod
     def accumulate(sets: list["CounterSet"]) -> "CounterSet":
         """Element-wise sum (use for additive counters only)."""
         if not sets:
             raise SimulationError("cannot accumulate an empty counter list")
-        matrix = np.stack([s.as_vector() for s in sets])
-        return CounterSet(dict(zip(COUNTER_NAMES, matrix.sum(axis=0).tolist())))
+        return CounterSet.from_vector(CounterSet.stack(sets).sum(axis=0))

@@ -50,6 +50,9 @@ class KernelProfile:
         object.__setattr__(self, "suite", suite)
         object.__setattr__(self, "jitter", float(jitter))
         self._validate()
+        # Cached: read several times per quantum in the epoch hot loop.
+        object.__setattr__(self, "_num_segments",
+                           len(self.phases) * self.iterations)
 
     def _validate(self) -> None:
         if not self.phases:
@@ -62,7 +65,7 @@ class KernelProfile:
     @property
     def num_segments(self) -> int:
         """Total number of phase segments across all iterations."""
-        return len(self.phases) * self.iterations
+        return self._num_segments
 
     @property
     def total_instructions(self) -> int:
@@ -99,6 +102,13 @@ class KernelCursor:
     skew_instructions: float = field(default=0.0)
 
     def __post_init__(self) -> None:
+        # Running float sum of completed segments' instructions, kept in
+        # completion order so it matches the historical per-call loop
+        # bit for bit while making `global_instructions_done` O(1) — it
+        # is read twice per quantum in the epoch hot loop.
+        self._completed_instructions = 0.0
+        for index in range(min(self.segment_index, self.kernel.num_segments)):
+            self._completed_instructions += self.kernel.segment(index).instructions
         if self.skew_instructions:
             # Deterministic per-cluster skew: advance the cursor by a
             # fraction of the first segment so clusters de-synchronise.
@@ -126,10 +136,7 @@ class KernelCursor:
     @property
     def global_instructions_done(self) -> float:
         """Instructions completed since the start of the kernel."""
-        done = 0.0
-        for index in range(min(self.segment_index, self.kernel.num_segments)):
-            done += self.kernel.segment(index).instructions
-        return done + self.instructions_done
+        return self._completed_instructions + self.instructions_done
 
     def advance(self, instructions: float) -> float:
         """Consume up to ``instructions``; returns the amount consumed.
@@ -147,7 +154,9 @@ class KernelCursor:
             self.instructions_done += step
             consumed += step
             remaining -= step
-            if self.instructions_done >= self.current_phase.instructions - 1e-9:
+            phase = self.current_phase
+            if self.instructions_done >= phase.instructions - 1e-9:
+                self._completed_instructions += phase.instructions
                 self.segment_index += 1
                 self.instructions_done = 0.0
         return consumed
@@ -159,4 +168,5 @@ class KernelCursor:
         copy.segment_index = self.segment_index
         copy.instructions_done = self.instructions_done
         copy.skew_instructions = self.skew_instructions
+        copy._completed_instructions = self._completed_instructions
         return copy

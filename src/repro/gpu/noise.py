@@ -109,12 +109,12 @@ class WorkloadNoise:
         return float((chunk + 1) * self.chunk_instructions)
 
     def _extend_to(self, chunk: int) -> None:
+        low, high = 1.0 - self.clip, 1.0 + self.clip
         while len(self._tracks[0]) <= chunk:
             for track in self._tracks:
                 previous = track[-1] if track else 1.0
                 innovation = self.sigma * float(self._rng.standard_normal())
                 value = 1.0 + self.rho * (previous - 1.0) + innovation
-                low, high = 1.0 - self.clip, 1.0 + self.clip
                 track.append(min(high, max(low, value)))
 
     def multipliers(self, chunk: int) -> tuple[float, float, float]:

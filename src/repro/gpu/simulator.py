@@ -27,8 +27,10 @@ from ..power.model import PowerModel
 from ..rng import StreamFactory
 from ..units import us
 from .arch import GPUArchConfig
-from .cluster import ClusterState, EpochActivity, build_counters
-from .counters import CounterSet
+from .cluster import (ClusterState, EpochActivity, build_counters_matrix,
+                      step_vector_for)
+from .counters import COUNTER_INDEX, CounterSet
+from .interval_model import SolutionCache
 from .kernels import KernelProfile
 from .noise import WorkloadNoise
 
@@ -112,7 +114,8 @@ class GPUSimulator:
                  kernel: KernelProfile | Sequence[KernelProfile],
                  power_model: PowerModel | None = None,
                  seed: int | None = None,
-                 epoch_s: float = DEFAULT_EPOCH_S) -> None:
+                 epoch_s: float = DEFAULT_EPOCH_S,
+                 use_solution_cache: bool = True) -> None:
         if epoch_s <= 0:
             raise SimulationError("epoch length must be positive")
         self.arch = arch
@@ -132,6 +135,11 @@ class GPUSimulator:
         self.epoch_s = float(epoch_s)
         self.seed = seed
         streams = StreamFactory() if seed is None else StreamFactory(seed)
+        # One solution cache shared by every cluster: clusters running
+        # the same kernel at the same operating point reuse each other's
+        # solves (and datagen replays reuse everything).
+        self.solution_cache = (SolutionCache(payload_builder=step_vector_for)
+                               if use_solution_cache else None)
         self.clusters: list[ClusterState] = []
         skew_rngs = {k.name: streams.get(f"skew.{k.name}") for k in kernels}
         for cid in range(arch.num_clusters):
@@ -144,7 +152,8 @@ class GPUSimulator:
             skew = float(skew_rngs[cluster_kernel.name].uniform(0.0, max_skew))
             self.clusters.append(
                 ClusterState(arch, cluster_kernel, noise, cluster_id=cid,
-                             skew_instructions=skew)
+                             skew_instructions=skew,
+                             solution_cache=self.solution_cache)
             )
         self.time_s = 0.0
         self.epoch_index = 0
@@ -202,7 +211,13 @@ class GPUSimulator:
     # Epoch stepping
     # ------------------------------------------------------------------
     def step_epoch(self) -> EpochRecord:
-        """Run one DVFS epoch on every cluster and account power."""
+        """Run one DVFS epoch on every cluster and account power.
+
+        Counter building and power accounting are vectorised over the
+        clusters: one ``(clusters, slots)`` activity matrix feeds one
+        counter-matrix build and one batched power evaluation instead of
+        per-cluster scalar passes.
+        """
         if self.finished:
             raise SimulationError("cannot step a finished simulation")
         activities: list[EpochActivity] = []
@@ -210,18 +225,20 @@ class GPUSimulator:
         for cluster in self.clusters:
             activities.append(cluster.run_epoch(self.epoch_s))
 
-        cluster_counters: list[CounterSet] = []
-        cluster_energy = 0.0
-        for activity in activities:
-            power = self.power_model.cluster_power(activity)
-            counters = build_counters(activity, self.arch)
-            counters["power_per_core"] = power.total_w
-            counters["power_dynamic"] = power.dynamic_w
-            counters["power_static"] = power.static_w
-            counters["energy_epoch"] = power.energy_j
-            cluster_counters.append(counters)
-            cluster_energy += power.energy_j
-        uncore = self.power_model.uncore_power(activities, self.epoch_s)
+        activity_matrix = np.stack([a.as_vector() for a in activities])
+        counters_matrix = build_counters_matrix(activity_matrix, self.arch)
+        dynamic_w, static_w, energy_j = self.power_model.cluster_power_batch(
+            activities, matrix=activity_matrix)
+        counters_matrix[:, COUNTER_INDEX["power_per_core"]] = (dynamic_w
+                                                               + static_w)
+        counters_matrix[:, COUNTER_INDEX["power_dynamic"]] = dynamic_w
+        counters_matrix[:, COUNTER_INDEX["power_static"]] = static_w
+        counters_matrix[:, COUNTER_INDEX["energy_epoch"]] = energy_j
+        cluster_counters = [CounterSet.from_vector(row.copy())
+                            for row in counters_matrix]
+        cluster_energy = float(energy_j.sum())
+        uncore = self.power_model.uncore_power(activities, self.epoch_s,
+                                               matrix=activity_matrix)
 
         all_finished = all(a.finished for a in activities)
         finish_time = max((a.busy_s for a in activities), default=0.0)
@@ -230,7 +247,7 @@ class GPUSimulator:
             start_time_s=self.time_s,
             duration_s=self.epoch_s,
             levels=levels,
-            counters=CounterSet.average(cluster_counters),
+            counters=CounterSet.from_vector(counters_matrix.mean(axis=0)),
             cluster_counters=cluster_counters,
             instructions=sum(a.instructions for a in activities),
             cluster_energy_j=cluster_energy,

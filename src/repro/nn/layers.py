@@ -40,6 +40,10 @@ class Dense:
         self.grad_bias = np.zeros_like(self.bias)
         self._cache_input: np.ndarray | None = None
         self._cache_preact: np.ndarray | None = None
+        # Reusable destination for the mask multiply in `forward`; the
+        # product itself is recomputed every call (weights/mask may have
+        # changed), only the allocation is amortised.
+        self._eff_buffer: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -67,6 +71,14 @@ class Dense:
         """Unpruned weight count."""
         return int(self.mask.sum())
 
+    def _masked_weights(self) -> np.ndarray:
+        """Mask-applied weights written into the reusable buffer."""
+        buffer = self._eff_buffer
+        if buffer is None or buffer.shape != self.weights.shape:
+            buffer = self._eff_buffer = np.empty_like(self.weights)
+        np.multiply(self.weights, self.mask, out=buffer)
+        return buffer
+
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
         """Forward pass over a batch ``x`` of shape (n, fan_in)."""
@@ -74,12 +86,20 @@ class Dense:
             raise ModelError(
                 f"expected input of shape (n, {self.fan_in}), got {x.shape}"
             )
-        preact = x @ self.effective_weights + self.bias
+        weights = self._masked_weights()
         if train:
+            # The pre-activation cache must stay pristine for backward,
+            # so the training path keeps the out-of-place ops.
+            preact = x @ weights + self.bias
             self._cache_input = x
             self._cache_preact = preact
+            if self.activation == "relu":
+                return np.maximum(preact, 0.0)
+            return preact
+        preact = x @ weights
+        preact += self.bias
         if self.activation == "relu":
-            return np.maximum(preact, 0.0)
+            np.maximum(preact, 0.0, out=preact)
         return preact
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -113,27 +133,29 @@ class Dense:
         copy.grad_bias = np.zeros_like(self.bias)
         copy._cache_input = None
         copy._cache_preact = None
+        copy._eff_buffer = None
         return copy
 
     def remove_output_units(self, indices: list[int]) -> None:
         """Delete output neurons (columns) — used by neuron pruning."""
         if not indices:
             return
-        keep = [j for j in range(self.fan_out) if j not in set(indices)]
-        if not keep:
+        keep = ~np.isin(np.arange(self.fan_out), indices)
+        if not keep.any():
             raise ModelError("cannot remove every neuron in a layer")
         self.weights = self.weights[:, keep]
         self.bias = self.bias[keep]
         self.mask = self.mask[:, keep]
         self.grad_weights = np.zeros_like(self.weights)
         self.grad_bias = np.zeros_like(self.bias)
+        self._eff_buffer = None
 
     def remove_input_units(self, indices: list[int]) -> None:
         """Delete input connections (rows) — follows upstream removal."""
         if not indices:
             return
-        keep = [i for i in range(self.fan_in) if i not in set(indices)]
-        if not keep:
+        keep = ~np.isin(np.arange(self.fan_in), indices)
+        if not keep.any():
             raise ModelError("cannot remove every input of a layer")
         self.weights = self.weights[keep, :]
         self.mask = self.mask[keep, :]

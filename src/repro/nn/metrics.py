@@ -63,24 +63,27 @@ def confusion_matrix(predicted: np.ndarray, labels: np.ndarray,
                         or predicted.min() < 0
                         or predicted.max() >= num_classes):
         raise TrainingError("class index out of range")
-    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
-    np.add.at(matrix, (labels, predicted), 1)
-    return matrix
+    if not labels.size:
+        return np.zeros((num_classes, num_classes), dtype=np.int64)
+    flat = (labels.astype(np.int64).ravel() * num_classes
+            + predicted.astype(np.int64).ravel())
+    return np.bincount(flat, minlength=num_classes * num_classes).reshape(
+        num_classes, num_classes)
 
 
 def macro_f1(predicted: np.ndarray, labels: np.ndarray,
              num_classes: int) -> float:
     """Macro-averaged F1 over the classes present in the labels."""
     matrix = confusion_matrix(predicted, labels, num_classes)
-    scores = []
-    for cls in range(num_classes):
-        true_pos = matrix[cls, cls]
-        false_pos = matrix[:, cls].sum() - true_pos
-        false_neg = matrix[cls, :].sum() - true_pos
-        if matrix[cls, :].sum() == 0:
-            continue  # class absent from labels
-        denom = 2 * true_pos + false_pos + false_neg
-        scores.append(2 * true_pos / denom if denom else 0.0)
-    if not scores:
+    true_pos = np.diag(matrix).astype(np.float64)
+    support = matrix.sum(axis=1).astype(np.float64)
+    false_pos = matrix.sum(axis=0) - true_pos
+    false_neg = support - true_pos
+    present = support > 0
+    if not present.any():
         raise TrainingError("no classes present in labels")
-    return float(np.mean(scores))
+    denom = 2.0 * true_pos + false_pos + false_neg
+    # denom > 0 wherever support > 0 (tp + fn = support), so the guard
+    # only protects absent classes, which are dropped anyway.
+    scores = np.where(denom > 0, 2.0 * true_pos / np.maximum(denom, 1.0), 0.0)
+    return float(scores[present].mean())

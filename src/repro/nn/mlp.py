@@ -77,7 +77,15 @@ class MLP:
 
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
-        """Run the network on a batch (n, input_size) -> (n, output_size)."""
+        """Run the network on a batch (n, input_size) -> (n, output_size).
+
+        Inference (``train=False``) is the controller's per-epoch hot
+        path: layers apply bias/activation in place on the fresh matmul
+        output and reuse a preallocated buffer for the pruning-mask
+        multiply, so a forward pass allocates one array per layer.
+        Stacking all clusters into one batch amortises that and turns N
+        vector passes into a single matmul per layer.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim == 1:
             x = x[None, :]

@@ -59,6 +59,7 @@ def model_from_arrays(arrays: dict[str, np.ndarray]) -> MLP:
         layer.grad_bias = np.zeros_like(bias)
         layer._cache_input = None
         layer._cache_preact = None
+        layer._eff_buffer = None
         model.layers.append(layer)
     return model
 

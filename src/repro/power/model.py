@@ -20,8 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import ConfigError
-from ..gpu.cluster import EpochActivity
+from ..gpu.cluster import (A_CYCLES, A_DRAM_BYTES, A_L2_ACCESS, _CLASS_SLICE,
+                           EpochActivity)
+from ..gpu.phases import INSTRUCTION_CLASSES
 
 #: Reference voltage for the EPI table (volts).
 REFERENCE_VOLTAGE = 1.0
@@ -122,6 +126,11 @@ class PowerModel:
 
     def __init__(self, config: PowerModelConfig | None = None) -> None:
         self.config = config or PowerModelConfig()
+        #: EPI table vectorised in :data:`INSTRUCTION_CLASSES` order,
+        #: aligned with the activity vector's class slots.
+        self._epi_vector = np.array(
+            [self.config.epi_table.get(cls, 0.0)
+             for cls in INSTRUCTION_CLASSES], dtype=np.float64)
 
     @classmethod
     def scaled_for(cls, num_clusters: int) -> "PowerModel":
@@ -170,14 +179,47 @@ class PowerModel:
             energy_j=dynamic_j + static_j,
         )
 
+    def cluster_power_batch(self, activities: list[EpochActivity],
+                            matrix: np.ndarray | None = None
+                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`cluster_power` over every cluster at once.
+
+        Returns ``(dynamic_w, static_w, energy_j)`` arrays, one entry
+        per activity.  ``matrix`` may pass the pre-stacked activity
+        vectors so the caller's stack is reused.
+        """
+        cfg = self.config
+        if matrix is None:
+            matrix = np.stack([a.as_vector() for a in activities])
+        durations = np.array([a.duration_s for a in activities])
+        if np.any(durations <= 0):
+            raise ConfigError("activity duration must be positive")
+        vratio = np.array([a.voltage_v for a in activities]) / REFERENCE_VOLTAGE
+        v2 = vratio * vratio
+
+        inst_energy = matrix[:, _CLASS_SLICE] @ self._epi_vector
+        clock_energy = matrix[:, A_CYCLES] * cfg.clock_energy_per_cycle_j
+        dynamic_j = (inst_energy + clock_energy) * v2
+        dynamic_w = dynamic_j / durations
+
+        static_w = cfg.cluster_leakage_w * (
+            vratio ** cfg.leakage_voltage_exponent)
+        static_j = static_w * durations
+        return dynamic_w, static_w, dynamic_j + static_j
+
     def uncore_power(self, activities: list[EpochActivity],
-                     duration_s: float) -> UncorePower:
+                     duration_s: float,
+                     matrix: np.ndarray | None = None) -> UncorePower:
         """Uncore power for one epoch given every cluster's activity."""
         cfg = self.config
         if duration_s <= 0:
             raise ConfigError("epoch duration must be positive")
-        dram_bytes = sum(a.dram_bytes for a in activities)
-        l2_accesses = sum(a.l2_access for a in activities)
+        if matrix is not None:
+            dram_bytes = float(matrix[:, A_DRAM_BYTES].sum())
+            l2_accesses = float(matrix[:, A_L2_ACCESS].sum())
+        else:
+            dram_bytes = sum(a.dram_bytes for a in activities)
+            l2_accesses = sum(a.l2_access for a in activities)
         dram_j = dram_bytes * cfg.dram_energy_per_byte_j
         l2_j = l2_accesses * cfg.l2_energy_per_access_j
         static_j = cfg.uncore_static_w * duration_s
