@@ -12,10 +12,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow bench-smoke bench
+.PHONY: test test-fast test-slow bench-smoke bench faults-smoke
 
 test-fast:
 	$(PYTHON) -m pytest -q -m "not slow"
+
+# Fault-injection smoke: a small sweep over every fault mode (including
+# 100% sensor dropout, which must engage the guard's fallback) plus the
+# resilience-focused test modules.  Zero unhandled exceptions expected.
+faults-smoke:
+	$(PYTHON) -m repro.cli faults --small --mode all --rates 0 1.0 \
+		--kernels 1 --duration-us 60 --stats
+	$(PYTHON) -m pytest -q tests/test_faults.py tests/test_parallel.py
 
 test:
 	$(PYTHON) -m pytest -q

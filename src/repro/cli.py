@@ -8,8 +8,11 @@ Exposes the offline pipeline and the evaluation harness as subcommands::
     repro-ssmdvfs train    --cache .cache --out artifacts
     repro-ssmdvfs evaluate --model artifacts/pruned --preset 0.10
     repro-ssmdvfs hardware --model artifacts/pruned
+    repro-ssmdvfs faults   --mode all --rates 0 0.05 0.5
 
 Every command is deterministic given ``--seed`` and runs fully offline.
+Long campaigns take ``--checkpoint`` (resume after interruption),
+``--retries`` and ``--task-timeout`` (resilient fan-out).
 """
 
 from __future__ import annotations
@@ -53,7 +56,10 @@ def _dataset(args, stats: CampaignStats | None = None):
                           _protocol(args),
                           workers=getattr(args, "workers", None),
                           stats=stats,
-                          use_cache=not getattr(args, "no_cache", False))
+                          use_cache=not getattr(args, "no_cache", False),
+                          checkpoint=getattr(args, "checkpoint", False),
+                          retries=getattr(args, "retries", 2),
+                          timeout_s=getattr(args, "task_timeout", None))
 
 
 def _print_stats(args, stats: CampaignStats) -> None:
@@ -153,7 +159,9 @@ def cmd_evaluate(args) -> int:
                       presets=tuple(args.preset), seed=args.seed,
                       workers=args.workers, stats=stats,
                       cache_dir=args.cache,
-                      use_cache=not args.no_cache)
+                      use_cache=not args.no_cache,
+                      checkpoint=args.checkpoint, retries=args.retries,
+                      timeout_s=args.task_timeout)
     print(result.render())
     if args.export:
         export_fig4_json(result, args.export)
@@ -173,6 +181,7 @@ def cmd_hardware(args) -> int:
 def cmd_run(args) -> int:
     """Drive one kernel with a saved model and print the outcome."""
     from .gpu.simulator import GPUSimulator
+    from .core.guarded import GuardedController
     from .core.policy import StaticPolicy
     from .workloads.serialization import load_kernels
     from .workloads.suites import kernel_by_name
@@ -187,12 +196,55 @@ def cmd_run(args) -> int:
     base = GPUSimulator(arch, kernel, seed=args.seed).run(
         StaticPolicy(arch.vf_table.default_level), keep_records=False)
     controller = SSMDVFSController(model, preset=args.preset[0])
+    if args.guarded:
+        controller = GuardedController(controller)
     run = GPUSimulator(arch, kernel, seed=args.seed).run(
         controller, keep_records=False)
     print(f"kernel {kernel.name}: baseline {base.time_s * 1e6:.1f} us / "
           f"{base.energy_j * 1e3:.2f} mJ; ssmdvfs {run.time_s * 1e6:.1f} us "
           f"/ {run.energy_j * 1e3:.2f} mJ; normalized EDP "
           f"{run.edp / base.edp:.3f}, latency {run.time_s / base.time_s:.3f}")
+    if args.guarded and getattr(args, "stats", False):
+        counters = controller.observability_counters()
+        for name in sorted(counters):
+            print(f"  {name:30s} {counters[name]}")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    """Sweep injected fault rates and report preset-violation stats."""
+    from functools import partial
+    from .baselines.governor import UtilizationGovernor
+    from .core.policy import ModelOraclePolicy
+    from .faults import FAULT_MODES
+    from .evaluation.robustness import fault_sweep
+    arch = _arch(args)
+    preset = args.preset[0]
+    factories = {
+        "governor": UtilizationGovernor,
+        "oracle": partial(ModelOraclePolicy, preset),
+    }
+    if args.model:
+        model = SSMDVFSModel.load(args.model)
+        factories["ssmdvfs"] = partial(SSMDVFSController, model, preset)
+    kernels = [scale_kernel_to_duration(k, arch, args.duration_us * 1e-6)
+               for k in evaluation_suite()[:args.kernels]]
+    modes = list(FAULT_MODES) if args.mode == "all" else [args.mode]
+    stats = CampaignStats()
+    result = fault_sweep(factories, kernels, arch, preset, modes,
+                         args.rates, guard=not args.no_guard,
+                         slack=args.slack, seed=args.seed,
+                         workers=args.workers, stats=stats)
+    print(result.render())
+    print(f"total preset violations: {result.total_violations()}; "
+          f"guard trips: {result.guard_engagements()}")
+    if args.export:
+        import json
+        payload = {"preset": result.preset, "slack": result.slack,
+                   "cells": [{**vars(c)} for c in result.cells]}
+        Path(args.export).write_text(json.dumps(payload, indent=2))
+        print(f"exported -> {args.export}")
+    _print_stats(args, stats)
     return 0
 
 
@@ -221,6 +273,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="ignore cached artefacts and regenerate "
                             "(the fresh result still refreshes the cache)")
+        p.add_argument("--checkpoint", action="store_true",
+                       help="checkpoint campaign progress next to the "
+                            "cache file so interrupted runs resume")
+        p.add_argument("--retries", type=int, default=2,
+                       help="pooled re-attempts per campaign task before "
+                            "quarantine (crash/hang recovery)")
+        p.add_argument("--task-timeout", type=float, default=None,
+                       help="stall watchdog in seconds: terminate workers "
+                            "when no task completes for this long")
         if cache:
             p.add_argument("--cache", default=".cache")
             p.add_argument("--breakpoints", type=int, default=10)
@@ -280,7 +341,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON kernel description (overrides --kernel)")
     p.add_argument("--preset", type=float, nargs="+", default=[0.10])
     p.add_argument("--duration-us", type=float, default=300.0)
+    p.add_argument("--guarded", action="store_true",
+                   help="wrap the controller in the runtime guard "
+                        "(sanitized counters, safe fallback)")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("faults",
+                       help="fault-injection sweep (robustness campaign)")
+    common(p, cache=False)
+    p.add_argument("--model", default=None,
+                   help="saved SSMDVFS model to include in the sweep "
+                        "(governor and oracle always run)")
+    p.add_argument("--mode", default="all",
+                   choices=("all", "dropout", "stuck", "nan", "spike",
+                            "actuation"))
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=[0.0, 0.05, 0.5])
+    p.add_argument("--no-guard", action="store_true",
+                   help="run policies bare (no GuardedController)")
+    p.add_argument("--slack", type=float, default=0.05,
+                   help="latency slack over the preset before a run "
+                        "counts as a violation")
+    p.add_argument("--kernels", type=int, default=3)
+    p.add_argument("--preset", type=float, nargs="+", default=[0.10])
+    p.add_argument("--duration-us", type=float, default=150.0)
+    p.add_argument("--export", default=None,
+                   help="write the sweep cells as JSON")
+    p.set_defaults(func=cmd_faults)
 
     return parser
 

@@ -5,14 +5,16 @@ from .combined import SSMDVFSModel
 from .controller import SSMDVFSController
 from .decision_maker import DecisionMaker
 from .event_driven import EventDrivenController, PhaseChangeDetector
+from .guarded import GuardedController
 from .pipeline import (VARIANTS, PipelineConfig, PipelineResult,
                        build_from_dataset, build_ssmdvfs)
-from .policy import BasePolicy, ModelOraclePolicy, StaticPolicy
+from .policy import (BasePolicy, ModelOraclePolicy, StaticPolicy,
+                     validate_decision)
 
 __all__ = [
     "Calibrator", "SSMDVFSModel", "SSMDVFSController", "DecisionMaker",
-    "EventDrivenController", "PhaseChangeDetector",
+    "EventDrivenController", "PhaseChangeDetector", "GuardedController",
     "VARIANTS", "PipelineConfig", "PipelineResult", "build_from_dataset",
     "build_ssmdvfs",
-    "BasePolicy", "ModelOraclePolicy", "StaticPolicy",
+    "BasePolicy", "ModelOraclePolicy", "StaticPolicy", "validate_decision",
 ]

@@ -63,6 +63,9 @@ class SSMDVFSController(BasePolicy):
         self._cumulative_actual = 0.0
         self._log_bias = 0.0
         self.preset_trace: list[float] = []
+        #: Non-finite Calibrator predictions / observations dropped by
+        #: the calibration loop instead of poisoning the working preset.
+        self.calibration_anomalies = 0
 
     #: Exponential decay of the cumulative comparison (a ~10-epoch
     #: sliding window of shortfall).
@@ -79,7 +82,12 @@ class SSMDVFSController(BasePolicy):
         self._cumulative_actual = 0.0
         self._log_bias = 0.0
         self.preset_trace = []
+        self.calibration_anomalies = 0
         simulator.set_all_levels(simulator.arch.vf_table.default_level)
+
+    def observability_counters(self) -> dict[str, int]:
+        """Controller-level anomaly counters (for campaign ``--stats``)."""
+        return {"calibration_anomalies": self.calibration_anomalies}
 
     # ------------------------------------------------------------------
     def _calibrate(self, record: EpochRecord) -> None:
@@ -94,8 +102,16 @@ class SSMDVFSController(BasePolicy):
             if (self.simulator is not None
                     and self.simulator.clusters[cluster_index].finished):
                 continue
+            actual = record.cluster_counters[cluster_index]["inst_total"]
+            # A NaN/Inf prediction (a poisoned Calibrator) or observation
+            # (a corrupted counter) must not enter the cumulative ratio:
+            # one non-finite term would stick the working preset at NaN
+            # for the rest of the run.  Drop the pair and count it.
+            if not (math.isfinite(predicted) and math.isfinite(actual)):
+                self.calibration_anomalies += 1
+                continue
             predicted_sum += predicted
-            actual_sum += record.cluster_counters[cluster_index]["inst_total"]
+            actual_sum += actual
         self._pending = []
         if predicted_sum <= 0 or actual_sum <= 0:
             return
@@ -107,12 +123,22 @@ class SSMDVFSController(BasePolicy):
         corrected = predicted_sum * math.exp(self._log_bias)
         self._log_bias += self.BIAS_RATE * (
             math.log(actual_sum / predicted_sum) - self._log_bias)
+        # Spiked counters can drive the observed ratio to extremes; a
+        # clamped bias keeps math.exp above in (finite) range forever.
+        self._log_bias = min(30.0, max(-30.0, self._log_bias))
         self._cumulative_predicted *= self.CUMULATIVE_DECAY
         self._cumulative_actual *= self.CUMULATIVE_DECAY
         self._cumulative_predicted += corrected
         self._cumulative_actual += actual_sum
         error = ((self._cumulative_predicted - self._cumulative_actual)
                  / self._cumulative_predicted)
+        if not math.isfinite(error):
+            # Decayed-to-zero denominators under heavy fault injection;
+            # hold the working preset rather than propagate the NaN.
+            self.calibration_anomalies += 1
+            self._cumulative_predicted = 0.0
+            self._cumulative_actual = 0.0
+            return
         if error > self.deadband:
             # Persistently slower than promised beyond the model's noise
             # floor: tighten the working preset.
@@ -123,6 +149,9 @@ class SSMDVFSController(BasePolicy):
                                                  - self.working_preset)
         self.working_preset = min(self.preset,
                                   max(self.min_preset, self.working_preset))
+        if not math.isfinite(self.working_preset):
+            self.calibration_anomalies += 1
+            self.working_preset = self.preset
 
     def decide(self, record: EpochRecord):
         """Calibrate, then pick each cluster's next operating point."""

@@ -1,0 +1,242 @@
+"""Guarded runtime controller: sanitize, validate, degrade gracefully.
+
+A closed-loop DVFS controller trusts two inputs it does not control:
+the performance counters it observes and the outputs of its learned
+models.  :class:`GuardedController` wraps any policy with three layers
+of protection:
+
+1. **Counter sanitization** — NaN/Inf values are zeroed, negatives
+   clamped, implausibly large values capped, and a physically
+   impossible all-zero window (real epochs always report static power)
+   is flagged as sensor dropout.  The wrapped policy only ever sees
+   finite, range-checked counters.
+2. **Decision validation** — whatever the policy returns is checked
+   with :func:`repro.core.policy.validate_decision`; exceptions from
+   the policy itself are contained.  An invalid decision never reaches
+   the V/f actuator.
+3. **Graceful degradation** — repeated anomalies trip the guard into a
+   safe static-frequency fallback (the default operating point by
+   default: the baseline every metric is normalised against, so the
+   preset cannot be violated from there).  After a cooldown the guard
+   enters a probation window where the policy is consulted again; a
+   clean probation restores normal operation, any anomaly sends it
+   back to fallback.
+
+State machine::
+
+    ACTIVE --(anomaly streak >= trip_threshold)--> FALLBACK
+    FALLBACK --(fallback_epochs elapsed)--------> PROBATION
+    PROBATION --(probation_epochs clean)--------> ACTIVE
+    PROBATION --(any anomaly)-------------------> FALLBACK
+
+Per-guard trip counters are exposed through
+:meth:`observability_counters` (``guard_*`` names) and folded into
+campaign ``--stats`` by the evaluation runner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GuardTripped, PolicyError
+from ..gpu.counters import CounterSet
+from ..gpu.simulator import EpochRecord, GPUSimulator
+from .policy import BasePolicy, validate_decision
+
+#: Guard states (strings so traces and reprs read naturally).
+ACTIVE = "active"
+FALLBACK = "fallback"
+PROBATION = "probation"
+
+
+class GuardedController(BasePolicy):
+    """Wrap a policy with input sanitization and a safe-fallback guard."""
+
+    def __init__(self, inner, fallback_level: int | None = None,
+                 trip_threshold: int = 3, fallback_epochs: int = 20,
+                 probation_epochs: int = 10,
+                 max_counter_value: float = 1e15,
+                 strict: bool = False) -> None:
+        super().__init__()
+        if trip_threshold < 1:
+            raise PolicyError("trip_threshold must be >= 1")
+        if fallback_epochs < 1 or probation_epochs < 1:
+            raise PolicyError("fallback/probation windows must be >= 1 epoch")
+        if max_counter_value <= 0:
+            raise PolicyError("max_counter_value must be positive")
+        self.inner = inner
+        self.name = f"{inner.name}+guard"
+        self.fallback_level = fallback_level
+        self.trip_threshold = int(trip_threshold)
+        self.fallback_epochs = int(fallback_epochs)
+        self.probation_epochs = int(probation_epochs)
+        self.max_counter_value = float(max_counter_value)
+        self.strict = strict
+        self.state = ACTIVE
+        self.state_trace: list[str] = []
+        self.guard_counters: dict[str, int] = {}
+        self._streak = 0
+        self._state_epochs = 0
+        self._fallback_level = 0
+
+    # ------------------------------------------------------------------
+    def reset(self, simulator: GPUSimulator) -> None:
+        """Reset guard state and the wrapped policy."""
+        super().reset(simulator)
+        table = simulator.arch.vf_table
+        level = (table.default_level if self.fallback_level is None
+                 else int(self.fallback_level))
+        if not 0 <= level < table.num_levels:
+            raise PolicyError(f"fallback level {level} out of range")
+        self._fallback_level = level
+        self.state = ACTIVE
+        self.state_trace = []
+        self.guard_counters = {}
+        self._streak = 0
+        self._state_epochs = 0
+        self.inner.reset(simulator)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.guard_counters[name] = self.guard_counters.get(name, 0) + amount
+
+    def observability_counters(self) -> dict[str, int]:
+        """Guard trip counters, merged with the wrapped policy's."""
+        merged = dict(self.guard_counters)
+        inner_counters = getattr(self.inner, "observability_counters", None)
+        if callable(inner_counters):
+            for name, amount in inner_counters().items():
+                merged[name] = merged.get(name, 0) + amount
+        return merged
+
+    # ------------------------------------------------------------------
+    def _sanitize_counters(self, counters: CounterSet,
+                           finished: bool) -> tuple[CounterSet, int]:
+        """A finite, range-clamped copy plus the anomaly count."""
+        vector = counters.as_vector()
+        anomalies = 0
+        nonfinite = ~np.isfinite(vector)
+        bad = int(nonfinite.sum())
+        if bad:
+            vector[nonfinite] = 0.0
+            self._count("guard_counter_nonfinite", bad)
+            anomalies += bad
+        negative = vector < 0.0
+        bad = int(negative.sum())
+        if bad:
+            vector[negative] = 0.0
+            self._count("guard_counter_negative", bad)
+            anomalies += bad
+        huge = vector > self.max_counter_value
+        bad = int(huge.sum())
+        if bad:
+            vector[huge] = self.max_counter_value
+            self._count("guard_counter_clamped", bad)
+            anomalies += bad
+        # Every real epoch reports nonzero static power; an all-zero
+        # window from a still-running cluster is a dropped sensor sample.
+        if not finished and not np.any(vector):
+            self._count("guard_counter_dropout")
+            anomalies += 1
+        return CounterSet.from_vector(vector), anomalies
+
+    def _sanitize_record(self, record: EpochRecord
+                         ) -> tuple[EpochRecord, int]:
+        anomalies = 0
+        cluster_counters = []
+        assert self.simulator is not None
+        for index, counters in enumerate(record.cluster_counters):
+            finished = self.simulator.clusters[index].finished
+            clean, bad = self._sanitize_counters(counters, finished)
+            cluster_counters.append(clean)
+            anomalies += bad
+        if anomalies == 0:
+            return record, 0
+        sanitized = EpochRecord(
+            index=record.index,
+            start_time_s=record.start_time_s,
+            duration_s=record.duration_s,
+            levels=record.levels,
+            counters=CounterSet.average(cluster_counters),
+            cluster_counters=cluster_counters,
+            instructions=record.instructions,
+            cluster_energy_j=record.cluster_energy_j,
+            uncore_energy_j=record.uncore_energy_j,
+            all_finished=record.all_finished,
+            finish_time_s=record.finish_time_s,
+        )
+        return sanitized, anomalies
+
+    # ------------------------------------------------------------------
+    def _fallback_decision(self) -> list[int]:
+        assert self.simulator is not None
+        return [self._fallback_level] * len(self.simulator.clusters)
+
+    def _consult(self, record: EpochRecord) -> tuple[list[int] | None, int]:
+        """The inner policy's validated decision, or None plus anomalies."""
+        assert self.simulator is not None
+        try:
+            decision = self.inner.decide(record)
+        except Exception as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._count("guard_policy_error")
+            return None, 1
+        try:
+            levels = validate_decision(decision,
+                                       self.simulator.arch.vf_table.num_levels,
+                                       len(self.simulator.clusters))
+        except PolicyError:
+            self._count("guard_decision_invalid")
+            return None, 1
+        return levels, 0
+
+    def decide(self, record: EpochRecord):
+        """Sanitize, consult (unless in fallback), update the guard FSM."""
+        if self.simulator is None:
+            raise PolicyError("policy not bound to a simulator")
+        record, anomalies = self._sanitize_record(record)
+
+        decision: list[int] | None = None
+        if self.state == FALLBACK:
+            self._count("guard_fallback_epochs")
+            self._state_epochs += 1
+            if self._state_epochs >= self.fallback_epochs:
+                self._enter(PROBATION)
+                # A stateful policy (e.g. the Calibrator loop) has been
+                # blind during fallback; restart it cleanly for probation.
+                self.inner.reset(self.simulator)
+        else:
+            decision, consult_anomalies = self._consult(record)
+            anomalies += consult_anomalies
+
+        if anomalies:
+            self._streak += 1
+            if self.state == PROBATION:
+                self._count("guard_probation_failures")
+                self._enter(FALLBACK)
+                decision = None
+            elif self.state == ACTIVE and self._streak >= self.trip_threshold:
+                self._count("guard_trips")
+                if self.strict:
+                    raise GuardTripped(
+                        f"guard tripped after {self._streak} anomalous "
+                        f"epochs (counters: {self.guard_counters})")
+                self._enter(FALLBACK)
+                decision = None
+        else:
+            self._streak = 0
+            if self.state == PROBATION:
+                self._state_epochs += 1
+                if self._state_epochs >= self.probation_epochs:
+                    self._count("guard_recoveries")
+                    self._enter(ACTIVE)
+
+        self.state_trace.append(self.state)
+        if self.state == FALLBACK or decision is None:
+            return self._fallback_decision()
+        return decision
+
+    def _enter(self, state: str) -> None:
+        self.state = state
+        self._state_epochs = 0
+        self._streak = 0

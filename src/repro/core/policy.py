@@ -9,9 +9,48 @@ per-phase optimal level — an upper bound no deployable policy can see.
 
 from __future__ import annotations
 
+import math
+import numbers
+
+import numpy as np
+
 from ..errors import PolicyError
 from ..gpu.interval_model import solve_throughput
 from ..gpu.simulator import EpochRecord, GPUSimulator
+
+
+def validate_decision(decision, num_levels: int,
+                      num_clusters: int) -> list[int]:
+    """Normalise a policy decision to a checked per-cluster level list.
+
+    Accepts the same shapes :meth:`GPUSimulator.apply_decision` does —
+    a scalar broadcast or a per-cluster sequence — but *validates*
+    instead of trusting: every level must be finite, integral and in
+    ``[0, num_levels)``.  Raises :class:`PolicyError` on anything else,
+    which is what lets :class:`repro.core.guarded.GuardedController`
+    treat a malformed decision as a guard anomaly rather than letting
+    it reach the hardware model.
+    """
+    if isinstance(decision, numbers.Real) or np.ndim(decision) == 0:
+        levels = [decision] * num_clusters
+    else:
+        levels = list(decision)
+        if len(levels) != num_clusters:
+            raise PolicyError(
+                f"decision has {len(levels)} levels, expected {num_clusters}")
+    checked: list[int] = []
+    for level in levels:
+        if not isinstance(level, numbers.Real):
+            raise PolicyError(f"non-numeric level {level!r}")
+        value = float(level)
+        if not math.isfinite(value) or value != int(value):
+            raise PolicyError(f"non-integral level {level!r}")
+        index = int(value)
+        if not 0 <= index < num_levels:
+            raise PolicyError(
+                f"level {index} out of range [0, {num_levels})")
+        checked.append(index)
+    return checked
 
 
 class BasePolicy:

@@ -18,14 +18,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from pathlib import Path
 
 from ..gpu.arch import GPUArchConfig
 from ..gpu.kernels import KernelProfile
-from ..parallel import CampaignStats
+from ..parallel import CampaignCheckpoint, CampaignStats
 from ..power.model import PowerModel
 from .dataset import DVFSDataset
 from .protocol import ProtocolConfig, generate_chunks_for_suite
+
+logger = logging.getLogger(__name__)
 
 
 def content_key(payload: dict) -> str:
@@ -64,27 +67,47 @@ def cached_dataset(cache_dir: str | Path, kernels: list[KernelProfile],
                    power_model: PowerModel | None = None, *,
                    workers: int | None = None,
                    stats: CampaignStats | None = None,
-                   use_cache: bool = True) -> DVFSDataset:
+                   use_cache: bool = True, checkpoint: bool = False,
+                   retries: int = 2,
+                   timeout_s: float | None = None) -> DVFSDataset:
     """Load the dataset from cache, generating (and caching) on miss.
 
     ``workers`` fans generation and assembly out over a process pool;
     ``stats`` records stage timings and the ``dataset_cache_hit`` /
     ``dataset_cache_miss`` counters.  With ``use_cache=False`` any
     cached artefact is ignored and regenerated (the fresh result still
-    refreshes the cache file).
+    refreshes the cache file).  A corrupt or truncated cache file is a
+    cache *miss* (counted in ``dataset_cache_corrupt``), never a crash.
+    ``checkpoint=True`` persists per-kernel progress next to the cache
+    file (``dvfs-<key>.ckpt``) so an interrupted generation campaign
+    resumes; ``retries``/``timeout_s`` tune the resilient fan-out.
     """
     config = config or ProtocolConfig()
     stats = stats if stats is not None else CampaignStats()
     cache_dir = Path(cache_dir)
     cache_dir.mkdir(parents=True, exist_ok=True)
-    path = cache_dir / f"dvfs-{dataset_cache_key(kernels, arch, config)}.npz"
+    key = dataset_cache_key(kernels, arch, config)
+    path = cache_dir / f"dvfs-{key}.npz"
     if use_cache and path.exists():
-        stats.count("dataset_cache_hit")
-        with stats.stage("dataset_load", tasks=1):
-            return DVFSDataset.load(path)
+        try:
+            with stats.stage("dataset_load", tasks=1):
+                dataset = DVFSDataset.load(path)
+        except Exception:
+            # A truncated write or bit-rot must cost a regeneration,
+            # not the campaign; the fresh save below overwrites it.
+            logger.warning("corrupt dataset cache %s; regenerating",
+                           path, exc_info=True)
+            stats.count("dataset_cache_corrupt")
+        else:
+            stats.count("dataset_cache_hit")
+            return dataset
     stats.count("dataset_cache_miss")
+    ckpt = (CampaignCheckpoint(cache_dir / f"dvfs-{key}.ckpt", key=key)
+            if checkpoint else None)
     chunks = generate_chunks_for_suite(kernels, arch, power_model, config,
-                                       workers=workers, stats=stats)
+                                       workers=workers, stats=stats,
+                                       checkpoint=ckpt, retries=retries,
+                                       timeout_s=timeout_s)
     dataset = DVFSDataset.from_breakpoint_chunks(chunks, workers=workers,
                                                  stats=stats)
     with stats.stage("dataset_save", tasks=1):

@@ -31,7 +31,7 @@ from ..gpu.arch import GPUArchConfig
 from ..gpu.counters import CounterSet
 from ..gpu.kernels import KernelProfile
 from ..gpu.simulator import DEFAULT_EPOCH_S, GPUSimulator
-from ..parallel import CampaignStats, parallel_map
+from ..parallel import CampaignCheckpoint, CampaignStats, parallel_map
 from ..power.model import PowerModel
 
 
@@ -304,7 +304,10 @@ def generate_chunks_for_suite(kernels: list[KernelProfile],
                               config: ProtocolConfig | None = None,
                               auto_scale: bool = True,
                               workers: int | None = None,
-                              stats: CampaignStats | None = None
+                              stats: CampaignStats | None = None,
+                              checkpoint: CampaignCheckpoint | None = None,
+                              retries: int = 2,
+                              timeout_s: float | None = None
                               ) -> list[list[BreakpointSamples]]:
     """Run the protocol over a suite, one breakpoint chunk per kernel.
 
@@ -313,6 +316,8 @@ def generate_chunks_for_suite(kernels: list[KernelProfile],
     the previous one ended) and must stay sequential, but kernels are
     fully independent.  Chunk order follows the input suite order, so
     flattening the chunks reproduces the serial output bit for bit.
+    ``checkpoint``/``retries``/``timeout_s`` configure the resilient
+    fan-out (see :func:`repro.parallel.parallel_map`).
     """
     if not kernels:
         raise DatasetError("no kernels given")
@@ -323,7 +328,8 @@ def generate_chunks_for_suite(kernels: list[KernelProfile],
             kernel = scale_kernel_for_protocol(kernel, arch, config)
         tasks.append((kernel, arch, power_model, config))
     results = parallel_map(_kernel_task, tasks, workers=workers, stats=stats,
-                           stage="datagen")
+                           stage="datagen", checkpoint=checkpoint,
+                           retries=retries, timeout_s=timeout_s)
     chunks = []
     for chunk, counters in results:
         chunks.append(chunk)

@@ -48,6 +48,27 @@ class ParallelError(ReproError):
     """The parallel campaign layer was configured inconsistently."""
 
 
+class CampaignError(ParallelError):
+    """A campaign task failed permanently (retries and rescue exhausted).
+
+    Carries the index of the originating task so campaign drivers can
+    report, quarantine, or re-dispatch around the poisoned task.  The
+    underlying worker exception travels as ``__cause__``.
+    """
+
+    def __init__(self, message: str, task_id: int | None = None) -> None:
+        super().__init__(message)
+        self.task_id = task_id
+
+
+class FaultInjectionError(ReproError):
+    """The fault-injection harness was configured inconsistently."""
+
+
+class GuardTripped(ReproError):
+    """A runtime guard exceeded its trip budget with fallback disabled."""
+
+
 class PolicyError(ReproError):
     """A DVFS policy produced an out-of-range or malformed decision."""
 

@@ -12,7 +12,9 @@ from .registry import (ExperimentEntry, all_experiments, get_experiment,
                        paper_experiments, render_registry)
 from .reporting import format_percent, format_series, format_table
 from .residency import ResidencyProfile, residency_from_records
-from .robustness import NoisyCountersPolicy, SeedSweepResult, seed_sweep
+from .robustness import (FaultSweepCell, FaultSweepResult,
+                         NoisyCountersPolicy, SeedSweepResult, fault_sweep,
+                         seed_sweep)
 from .runner import (ComparisonResult, PolicyRun, compare_policies,
                      run_policy_on_kernel)
 
@@ -28,7 +30,8 @@ __all__ = [
     "paper_experiments", "render_registry",
     "format_percent", "format_series", "format_table",
     "ResidencyProfile", "residency_from_records",
-    "NoisyCountersPolicy", "SeedSweepResult", "seed_sweep",
+    "FaultSweepCell", "FaultSweepResult", "NoisyCountersPolicy",
+    "SeedSweepResult", "fault_sweep", "seed_sweep",
     "ComparisonResult", "PolicyRun", "compare_policies",
     "run_policy_on_kernel",
 ]

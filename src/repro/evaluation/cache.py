@@ -17,15 +17,18 @@ the models behind the same names change.
 from __future__ import annotations
 
 import json
+import logging
 from pathlib import Path
 
 from ..datagen.cache import content_key, kernel_suite_fingerprint
 from ..gpu.arch import GPUArchConfig
 from ..gpu.kernels import KernelProfile
-from ..parallel import CampaignStats
+from ..parallel import CampaignCheckpoint, CampaignStats
 from ..power.model import PowerModel
 from ..units import us
 from .runner import ComparisonResult, compare_policies
+
+logger = logging.getLogger(__name__)
 
 
 def comparison_cache_key(policy_names: list[str],
@@ -55,12 +58,18 @@ def cached_comparison(cache_dir: str | Path,
                       cache_token: str | None = None,
                       workers: int | None = None,
                       stats: CampaignStats | None = None,
-                      use_cache: bool = True) -> ComparisonResult:
+                      use_cache: bool = True, checkpoint: bool = False,
+                      retries: int = 2,
+                      timeout_s: float | None = None) -> ComparisonResult:
     """Load a policy × kernel grid from cache, running it on miss.
 
     Counters ``comparison_cache_hit`` / ``comparison_cache_miss`` land
     in ``stats``.  With ``use_cache=False`` the grid is re-run and the
-    cache file refreshed.
+    cache file refreshed.  A corrupt or truncated cache file is a cache
+    *miss* (counted in ``comparison_cache_corrupt``), never a crash.
+    ``checkpoint=True`` persists per-run progress next to the cache
+    file (``grid-<key>.ckpt``) so an interrupted campaign resumes;
+    ``retries``/``timeout_s`` tune the resilient fan-out.
     """
     stats = stats if stats is not None else CampaignStats()
     cache_dir = Path(cache_dir)
@@ -70,13 +79,24 @@ def cached_comparison(cache_dir: str | Path,
                                cache_token=cache_token)
     path = cache_dir / f"grid-{key}.json"
     if use_cache and path.exists():
-        stats.count("comparison_cache_hit")
-        with stats.stage("grid_load", tasks=1):
-            return ComparisonResult.from_payload(
-                json.loads(path.read_text()))
+        try:
+            with stats.stage("grid_load", tasks=1):
+                result = ComparisonResult.from_payload(
+                    json.loads(path.read_text()))
+        except Exception:
+            logger.warning("corrupt evaluation cache %s; re-running",
+                           path, exc_info=True)
+            stats.count("comparison_cache_corrupt")
+        else:
+            stats.count("comparison_cache_hit")
+            return result
     stats.count("comparison_cache_miss")
+    ckpt = (CampaignCheckpoint(cache_dir / f"grid-{key}.ckpt", key=key)
+            if checkpoint else None)
     result = compare_policies(policy_factories, kernels, arch, preset,
                               power_model, seed=seed, epoch_s=epoch_s,
-                              workers=workers, stats=stats)
+                              workers=workers, stats=stats,
+                              checkpoint=ckpt, retries=retries,
+                              timeout_s=timeout_s)
     path.write_text(json.dumps(result.to_payload()))
     return result

@@ -352,13 +352,16 @@ def run_fig4(models: dict[str, SSMDVFSModel], kernels: list[KernelProfile],
              epoch_s: float = us(10), workers: int | None = None,
              stats: CampaignStats | None = None,
              cache_dir: str | None = None, cache_token: str | None = None,
-             use_cache: bool = True) -> Fig4Result:
+             use_cache: bool = True, checkpoint: bool = False,
+             retries: int = 2, timeout_s: float | None = None) -> Fig4Result:
     """Reproduce Fig. 4 across presets and the full policy line-up.
 
     ``workers`` fans each preset's policy × kernel grid out over a
     process pool.  With ``cache_dir`` set, finished grids are cached
     on disk keyed by the kernel suite, arch, preset, seed and a model
-    ``cache_token`` (defaults to a hash of the models' metadata).
+    ``cache_token`` (defaults to a hash of the models' metadata), and
+    ``checkpoint=True`` lets each interrupted grid resume mid-campaign;
+    ``retries``/``timeout_s`` tune the resilient fan-out.
     """
     result = Fig4Result()
     if cache_dir is not None and cache_token is None:
@@ -369,11 +372,13 @@ def run_fig4(models: dict[str, SSMDVFSModel], kernels: list[KernelProfile],
             result.comparisons[preset] = cached_comparison(
                 cache_dir, factories, kernels, arch, preset, power_model,
                 seed=seed, epoch_s=epoch_s, cache_token=cache_token,
-                workers=workers, stats=stats, use_cache=use_cache)
+                workers=workers, stats=stats, use_cache=use_cache,
+                checkpoint=checkpoint, retries=retries, timeout_s=timeout_s)
         else:
             result.comparisons[preset] = compare_policies(
                 factories, kernels, arch, preset, power_model, seed=seed,
-                epoch_s=epoch_s, workers=workers, stats=stats)
+                epoch_s=epoch_s, workers=workers, stats=stats,
+                retries=retries, timeout_s=timeout_s)
     return result
 
 

@@ -1,6 +1,6 @@
-"""Robustness studies: seed sweeps and counter measurement noise.
+"""Robustness studies: seed sweeps, counter noise, and fault sweeps.
 
-Two analyses beyond the paper's single-configuration evaluation:
+Analyses beyond the paper's single-configuration evaluation:
 
 * **Seed sweeps** — re-run a policy comparison across simulator seeds
   and report mean +- std of the aggregate metrics, so "SSMDVFS beats X
@@ -9,19 +9,27 @@ Two analyses beyond the paper's single-configuration evaluation:
   are noisy.  :class:`NoisyCountersPolicy` wraps any policy and
   perturbs every counter it observes with multiplicative Gaussian
   noise, quantifying how gracefully each controller degrades.
+* **Fault sweeps** — :func:`fault_sweep` runs each policy under the
+  :mod:`repro.faults` scenarios (sensor dropout, stuck registers, NaN
+  poisoning, spikes, actuation faults) across a rate grid and reports
+  preset-violation statistics plus guard/fault counters per cell —
+  the campaign behind the ``repro-ssmdvfs faults`` CLI.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from ..errors import PolicyError, SimulationError
+from ..faults import FaultConfig, config_for_mode, build_faulty_policy
 from ..gpu.counters import COUNTER_NAMES, CounterSet
 from ..gpu.simulator import EpochRecord, GPUSimulator
 from ..gpu.kernels import KernelProfile
 from ..gpu.arch import GPUArchConfig
+from ..parallel import CampaignStats
 from ..power.model import PowerModel
 from .runner import ComparisonResult, compare_policies
 
@@ -127,4 +135,117 @@ def seed_sweep(policy_factories: dict[str, callable],
     for policy, values in per_policy_lat.items():
         result.mean_latency[policy] = float(np.mean(values))
         result.std_latency[policy] = float(np.std(values))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fault sweeps
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FaultSweepCell:
+    """One (fault mode, rate, policy) measurement of a fault sweep."""
+
+    mode: str
+    rate: float
+    policy: str
+    mean_edp: float
+    mean_latency: float
+    violations: int
+    kernels: int
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of kernels whose latency blew the preset budget."""
+        return self.violations / self.kernels if self.kernels else 0.0
+
+
+@dataclass
+class FaultSweepResult:
+    """All cells of one fault sweep, plus the violation criterion."""
+
+    preset: float
+    slack: float
+    cells: list[FaultSweepCell] = field(default_factory=list)
+
+    def total_violations(self, policy: str | None = None) -> int:
+        """Summed preset violations (optionally for one policy)."""
+        return sum(c.violations for c in self.cells
+                   if policy is None or c.policy == policy)
+
+    def guard_engagements(self) -> int:
+        """Summed guard trips across every cell (0 when unguarded)."""
+        return sum(c.counters.get("guard_trips", 0) for c in self.cells)
+
+    def render(self) -> str:
+        """Per-cell table: metrics, violations and headline counters."""
+        from .reporting import format_table
+        rows = []
+        for c in self.cells:
+            faults = sum(v for k, v in c.counters.items()
+                         if k.startswith("fault_"))
+            rows.append([
+                c.mode, f"{c.rate:g}", c.policy,
+                f"{c.mean_edp:.3f}", f"{c.mean_latency:.3f}",
+                f"{c.violations}/{c.kernels}",
+                str(faults),
+                str(c.counters.get("guard_trips", 0)),
+                str(c.counters.get("guard_recoveries", 0)),
+            ])
+        title = (f"Fault sweep (preset {self.preset:g}, violation = "
+                 f"latency > {1 + self.preset + self.slack:.3f}x baseline)")
+        return format_table(
+            ["mode", "rate", "policy", "EDP", "latency", "viol",
+             "faults", "trips", "recov"], rows, title=title)
+
+
+def fault_sweep(policy_factories: dict[str, callable],
+                kernels: list[KernelProfile], arch: GPUArchConfig,
+                preset: float, modes: list[str], rates: list[float], *,
+                guard: bool = True, slack: float = 0.05, seed: int = 0,
+                power_model: PowerModel | None = None,
+                workers: int | None = None,
+                stats: CampaignStats | None = None,
+                guard_kwargs: dict | None = None) -> FaultSweepResult:
+    """Sweep fault modes × rates over every policy.
+
+    Each policy is wrapped per :func:`repro.faults.build_faulty_policy`
+    — a :class:`~repro.core.guarded.GuardedController` inside (unless
+    ``guard=False``) and the fault injector outside, exactly as faults
+    would hit a deployed controller.  A run *violates* the preset when
+    its latency exceeds ``1 + preset + slack`` times the fault-free
+    static baseline; ``slack`` absorbs the controller's honest noise
+    floor so the statistic isolates fault-induced breakage.  Fault and
+    guard counters are attributed per cell and also folded into
+    ``stats`` when given.
+    """
+    if not modes or not rates:
+        raise SimulationError("need at least one fault mode and one rate")
+    threshold = 1.0 + preset + slack
+    result = FaultSweepResult(preset=preset, slack=slack)
+    for mode in modes:
+        for rate in rates:
+            config = config_for_mode(mode, rate, seed=seed)
+            for name, factory in policy_factories.items():
+                cell_stats = CampaignStats()
+                wrapped = partial(build_faulty_policy, factory, config,
+                                  guard=guard, **(guard_kwargs or {}))
+                comparison = compare_policies(
+                    {name: wrapped}, kernels, arch, preset, power_model,
+                    seed=seed, workers=workers, stats=cell_stats)
+                runs = comparison.series(name)
+                violations = sum(1 for r in runs
+                                 if r.normalized_latency > threshold)
+                counters = {k: v for k, v in cell_stats.counters.items()
+                            if k.startswith(("fault_", "guard_"))
+                            or k == "calibration_anomalies"}
+                result.cells.append(FaultSweepCell(
+                    mode=mode, rate=rate, policy=name,
+                    mean_edp=comparison.mean_normalized_edp(name),
+                    mean_latency=comparison.mean_normalized_latency(name),
+                    violations=violations, kernels=len(runs),
+                    counters=counters))
+                if stats is not None:
+                    stats.merge_counters(cell_stats.counters)
     return result

@@ -16,7 +16,7 @@ from ..errors import SimulationError
 from ..gpu.arch import GPUArchConfig
 from ..gpu.kernels import KernelProfile
 from ..gpu.simulator import GPUSimulator
-from ..parallel import CampaignStats, parallel_map
+from ..parallel import CampaignCheckpoint, CampaignStats, parallel_map
 from ..power.model import PowerModel
 from ..core.policy import StaticPolicy
 from ..units import us
@@ -125,16 +125,23 @@ def run_policy_on_kernel(policy, kernel: KernelProfile, arch: GPUArchConfig,
     return result.time_s, result.energy_j, result.epochs
 
 
-def _policy_task(task: tuple) -> tuple[float, float, int]:
+def _policy_task(task: tuple) -> tuple[float, float, int, dict[str, int]]:
     """Process-pool unit of evaluation: one (policy, kernel) run.
 
     Takes the *factory* rather than a policy instance so every run gets
     a fresh policy, and builds its own simulator from the explicit seed
-    — identical results whether run in-process or in a worker.
+    — identical results whether run in-process or in a worker.  The
+    policy's :meth:`observability_counters` (guard trips, injected
+    faults, calibration anomalies) travel back with the metrics so the
+    caller can fold them into campaign ``--stats``.
     """
     factory, kernel, arch, power_model, seed, epoch_s = task
-    return run_policy_on_kernel(factory(), kernel, arch, power_model,
-                                seed=seed, epoch_s=epoch_s)
+    policy = factory()
+    time_s, energy_j, epochs = run_policy_on_kernel(
+        policy, kernel, arch, power_model, seed=seed, epoch_s=epoch_s)
+    counters_fn = getattr(policy, "observability_counters", None)
+    counters = counters_fn() if callable(counters_fn) else {}
+    return time_s, energy_j, epochs, counters
 
 
 def compare_policies(policy_factories: dict[str, callable],
@@ -144,7 +151,10 @@ def compare_policies(policy_factories: dict[str, callable],
                      seed: int = 0,
                      epoch_s: float = us(10),
                      workers: int | None = None,
-                     stats: CampaignStats | None = None) -> ComparisonResult:
+                     stats: CampaignStats | None = None,
+                     checkpoint: CampaignCheckpoint | None = None,
+                     retries: int = 2,
+                     timeout_s: float | None = None) -> ComparisonResult:
     """Evaluate a set of policies over a kernel list.
 
     ``policy_factories`` maps display names to zero-argument callables
@@ -153,7 +163,11 @@ def compare_policies(policy_factories: dict[str, callable],
     run for normalization.  ``workers`` fans the policy × kernel grid
     out over a process pool (picklable factories — e.g.
     ``functools.partial`` over module-level classes — required to
-    actually parallelise; anything else falls back to serial).
+    actually parallelise; anything else falls back to serial).  Policy
+    observability counters (``guard_*``, ``fault_*``,
+    ``calibration_anomalies``) are folded into ``stats``;
+    ``checkpoint``/``retries``/``timeout_s`` configure the resilient
+    fan-out (see :func:`repro.parallel.parallel_map`).
     """
     power_model = power_model or PowerModel()
     names = list(policy_factories)
@@ -166,12 +180,13 @@ def compare_policies(policy_factories: dict[str, callable],
             tasks.append((policy_factories[name], kernel, arch, power_model,
                           seed, epoch_s))
     outcomes = parallel_map(_policy_task, tasks, workers=workers, stats=stats,
-                            stage="evaluation")
+                            stage="evaluation", checkpoint=checkpoint,
+                            retries=retries, timeout_s=timeout_s)
 
     result = ComparisonResult(preset=preset)
     cursor = iter(outcomes)
     for kernel in kernels:
-        base_time, base_energy, base_epochs = next(cursor)
+        base_time, base_energy, base_epochs, _ = next(cursor)
         base_edp = base_energy * base_time
         result.runs.append(PolicyRun(
             policy_name="baseline", kernel_name=kernel.name,
@@ -179,7 +194,9 @@ def compare_policies(policy_factories: dict[str, callable],
             normalized_edp=1.0, normalized_latency=1.0,
             epochs=base_epochs))
         for name in names:
-            time_s, energy_j, epochs = next(cursor)
+            time_s, energy_j, epochs, counters = next(cursor)
+            if stats is not None:
+                stats.merge_counters(counters)
             result.runs.append(PolicyRun(
                 policy_name=name, kernel_name=kernel.name,
                 time_s=time_s, energy_j=energy_j,

@@ -1,0 +1,309 @@
+"""Seeded, composable fault injection for policies and campaigns.
+
+SSMDVFS is a closed loop: corrupted counter samples, NaN model outputs
+and crashed campaign workers can silently blow the performance-loss
+preset the whole system promises to honour.  This module provides the
+fault models the resilience work is tested against:
+
+* :class:`FaultConfig` — a declarative, seeded description of sensor
+  faults (whole-window dropout, stuck-at registers, NaN poisoning,
+  spiked noise) and actuation faults (delayed or dropped frequency
+  switches).
+* :class:`FaultyPolicy` — wraps any DVFS policy: corrupts the epoch
+  record the policy observes and the decisions it actuates, with a
+  deterministic per-seed fault stream.  Compose with
+  :class:`repro.core.guarded.GuardedController` (faults outside, guard
+  inside) to exercise the guard exactly as deployment would:
+  ``FaultyPolicy(GuardedController(inner), config)``.
+* :class:`FlakyTask` — a picklable campaign-task proxy that injects
+  *process-level* faults (hard worker crashes, hangs, raised
+  exceptions) deterministically per task, tracking attempts through
+  marker files — the only channel that survives a killed worker.  It
+  drives the retry/quarantine machinery of
+  :func:`repro.parallel.parallel_map`.
+
+Every fault draw is deterministic given the config seed, so a faulted
+campaign is replayable and the retried result can be byte-compared
+against a fault-free run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from .errors import FaultInjectionError
+from .gpu.counters import NUM_COUNTERS, CounterSet
+from .gpu.simulator import EpochRecord, GPUSimulator
+
+#: The probability knobs of :class:`FaultConfig`, validated as one group.
+_RATE_FIELDS = ("counter_dropout", "counter_stuck", "counter_nan",
+                "counter_spike", "actuation_delay", "actuation_drop")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Declarative description of one fault-injection scenario.
+
+    Counter faults are drawn per cluster per epoch: ``counter_dropout``
+    is the probability the *whole* counter window reads zero (a dropped
+    sensor sample), ``counter_stuck`` the probability the window
+    re-delivers the previous epoch's values (a stale register), and
+    ``counter_nan`` / ``counter_spike`` the per-counter probability of
+    a NaN poisoning or a ``spike_magnitude``× outlier.  Actuation
+    faults are drawn per decision: ``actuation_delay`` applies the
+    decision one epoch late, ``actuation_drop`` discards it (levels
+    hold).  All draws come from one stream seeded by ``seed``.
+    """
+
+    counter_dropout: float = 0.0
+    counter_stuck: float = 0.0
+    counter_nan: float = 0.0
+    counter_spike: float = 0.0
+    spike_magnitude: float = 1e3
+    actuation_delay: float = 0.0
+    actuation_drop: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultInjectionError(
+                    f"{name} must be a probability in [0, 1], got {rate!r}")
+        if self.spike_magnitude <= 0:
+            raise FaultInjectionError("spike_magnitude must be positive")
+
+    @property
+    def any_active(self) -> bool:
+        """True if at least one fault rate is non-zero."""
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    def with_seed(self, seed: int) -> "FaultConfig":
+        """The same scenario under a different fault stream."""
+        return replace(self, seed=int(seed))
+
+
+#: Scenario presets used by the ``repro-ssmdvfs faults`` sweep: each
+#: maps one sweep rate onto the fault dimension it stresses.
+FAULT_MODES = ("dropout", "stuck", "nan", "spike", "actuation")
+
+
+def config_for_mode(mode: str, rate: float, seed: int = 0) -> FaultConfig:
+    """A single-dimension :class:`FaultConfig` for a sweep point."""
+    if mode == "dropout":
+        return FaultConfig(counter_dropout=rate, seed=seed)
+    if mode == "stuck":
+        return FaultConfig(counter_stuck=rate, seed=seed)
+    if mode == "nan":
+        return FaultConfig(counter_nan=rate, seed=seed)
+    if mode == "spike":
+        return FaultConfig(counter_spike=rate, seed=seed)
+    if mode == "actuation":
+        return FaultConfig(actuation_delay=rate, actuation_drop=rate / 2,
+                           seed=seed)
+    raise FaultInjectionError(
+        f"unknown fault mode {mode!r}; expected one of {FAULT_MODES}")
+
+
+class FaultyPolicy:
+    """Wrap a policy; corrupt what it observes and what it actuates.
+
+    The wrapper sits *outside* any guard layer, mirroring deployment:
+    sensor faults corrupt the record before the controller sees it, and
+    actuation faults corrupt the controller's output — including a
+    guard's fallback decision — before the simulator applies it.
+    Injection counts are exposed through :meth:`observability_counters`
+    (``fault_*`` names) so campaign ``--stats`` can report them.
+    """
+
+    def __init__(self, inner, config: FaultConfig) -> None:
+        if not isinstance(config, FaultConfig):
+            raise FaultInjectionError("config must be a FaultConfig")
+        self.inner = inner
+        self.config = config
+        self.name = f"{inner.name}+faults"
+        self._rng = np.random.default_rng(config.seed)
+        self._previous: list[CounterSet] | None = None
+        self._delayed = None
+        self.counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def reset(self, simulator: GPUSimulator) -> None:
+        """Re-seed the fault stream and reset the wrapped policy."""
+        self._rng = np.random.default_rng(self.config.seed)
+        self._previous = None
+        self._delayed = None
+        self.counts = {}
+        self.inner.reset(simulator)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def observability_counters(self) -> dict[str, int]:
+        """Injection counts, merged with the wrapped policy's counters."""
+        merged = dict(self.counts)
+        inner_counters = getattr(self.inner, "observability_counters", None)
+        if callable(inner_counters):
+            for name, amount in inner_counters().items():
+                merged[name] = merged.get(name, 0) + amount
+        return merged
+
+    # ------------------------------------------------------------------
+    def _corrupt_counters(self, counters: CounterSet,
+                          previous: CounterSet | None) -> CounterSet:
+        config = self.config
+        rng = self._rng
+        if config.counter_dropout and rng.random() < config.counter_dropout:
+            self._count("fault_counter_dropout")
+            return CounterSet()
+        if (config.counter_stuck and previous is not None
+                and rng.random() < config.counter_stuck):
+            self._count("fault_counter_stuck")
+            return previous.copy()
+        vector = counters.as_vector()
+        if config.counter_nan:
+            mask = rng.random(NUM_COUNTERS) < config.counter_nan
+            injected = int(mask.sum())
+            if injected:
+                vector[mask] = np.nan
+                self._count("fault_counter_nan", injected)
+        if config.counter_spike:
+            mask = rng.random(NUM_COUNTERS) < config.counter_spike
+            injected = int(mask.sum())
+            if injected:
+                vector[mask] *= config.spike_magnitude
+                self._count("fault_counter_spike", injected)
+        return CounterSet.from_vector(vector)
+
+    def corrupt_record(self, record: EpochRecord) -> EpochRecord:
+        """A fault-injected copy of one epoch record."""
+        previous = self._previous
+        cluster_counters = []
+        for index, counters in enumerate(record.cluster_counters):
+            prev = previous[index] if previous is not None else None
+            cluster_counters.append(self._corrupt_counters(counters, prev))
+        # The policy-visible mean view is rebuilt from the corrupted
+        # per-cluster sets so the two stay consistent.
+        self._previous = cluster_counters
+        return EpochRecord(
+            index=record.index,
+            start_time_s=record.start_time_s,
+            duration_s=record.duration_s,
+            levels=record.levels,
+            counters=CounterSet.average(cluster_counters),
+            cluster_counters=cluster_counters,
+            instructions=record.instructions,
+            cluster_energy_j=record.cluster_energy_j,
+            uncore_energy_j=record.uncore_energy_j,
+            all_finished=record.all_finished,
+            finish_time_s=record.finish_time_s,
+        )
+
+    def decide(self, record: EpochRecord):
+        """Forward a corrupted record; fault the actuation of the result."""
+        decision = self.inner.decide(self.corrupt_record(record))
+        config = self.config
+        if config.actuation_drop and self._rng.random() < config.actuation_drop:
+            self._count("fault_actuation_drop")
+            return list(record.levels)
+        if config.actuation_delay and self._rng.random() < config.actuation_delay:
+            self._count("fault_actuation_delay")
+            delayed, self._delayed = self._delayed, decision
+            return list(record.levels) if delayed is None else delayed
+        if self._delayed is not None:
+            delayed, self._delayed = self._delayed, None
+            return delayed
+        return decision
+
+
+def build_faulty_policy(factory, config: FaultConfig, *, guard: bool = True,
+                        **guard_kwargs):
+    """``factory()`` wrapped for a fault campaign.
+
+    Composition order is deployment's: the guard wraps the raw policy,
+    the fault injector wraps the guard, so sensor faults hit the guard's
+    sanitizer and actuation faults hit its fallback output.  A
+    module-level function (not a closure) so
+    ``functools.partial(build_faulty_policy, factory, config)`` remains
+    picklable for process-pool campaigns.
+    """
+    from .core.guarded import GuardedController
+    inner = factory()
+    if guard:
+        inner = GuardedController(inner, **guard_kwargs)
+    return FaultyPolicy(inner, config)
+
+
+# ---------------------------------------------------------------------------
+# Process-level campaign faults
+# ---------------------------------------------------------------------------
+
+class FlakyTask:
+    """Picklable proxy injecting process faults into campaign tasks.
+
+    Wraps a campaign task function; for each task it decides
+    *deterministically* (from ``seed`` and the task's content hash)
+    whether to fault, and the first ``faults_per_task`` attempts of a
+    faulted task then crash the hosting worker (``mode="exit"``), hang
+    it (``mode="hang"``) or raise :class:`FaultInjectionError`
+    (``mode="raise"``).  Later attempts run the real task, so a
+    retrying campaign converges to the fault-free result.  Attempt
+    counting uses marker files under ``state_dir`` because a hard-killed
+    worker can report nothing back through memory.
+    """
+
+    #: Worker exit code used by ``mode="exit"`` (diagnosable in logs).
+    EXIT_CODE = 23
+
+    def __init__(self, fn, state_dir: str | Path, *, fault_rate: float = 1.0,
+                 mode: str = "exit", hang_s: float = 3600.0,
+                 faults_per_task: int = 1, seed: int = 0) -> None:
+        if mode not in ("exit", "hang", "raise"):
+            raise FaultInjectionError(
+                f"unknown fault mode {mode!r}; expected exit/hang/raise")
+        if not 0.0 <= fault_rate <= 1.0:
+            raise FaultInjectionError("fault_rate must be in [0, 1]")
+        if faults_per_task < 0:
+            raise FaultInjectionError("faults_per_task cannot be negative")
+        self.fn = fn
+        self.state_dir = Path(state_dir)
+        self.fault_rate = float(fault_rate)
+        self.mode = mode
+        self.hang_s = float(hang_s)
+        self.faults_per_task = int(faults_per_task)
+        self.seed = int(seed)
+
+    def _task_key(self, task) -> str:
+        try:
+            blob = pickle.dumps(task)
+        except Exception:  # unpicklable task: fall back to repr identity
+            blob = repr(task).encode()
+        return hashlib.sha256(
+            str(self.seed).encode() + b":" + blob).hexdigest()[:16]
+
+    def _should_fault(self, key: str) -> bool:
+        if self.fault_rate >= 1.0:
+            return True
+        draw = int(hashlib.sha256(f"draw:{key}".encode()).hexdigest()[:8], 16)
+        return draw / 0xFFFFFFFF < self.fault_rate
+
+    def __call__(self, task):
+        key = self._task_key(task)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        attempts = len(list(self.state_dir.glob(f"{key}.*")))
+        if attempts < self.faults_per_task and self._should_fault(key):
+            (self.state_dir / f"{key}.{attempts}").touch()
+            if self.mode == "exit":
+                os._exit(self.EXIT_CODE)
+            if self.mode == "hang":
+                time.sleep(self.hang_s)
+            raise FaultInjectionError(
+                f"injected task fault (attempt {attempts}, key {key})")
+        return self.fn(task)

@@ -1,4 +1,4 @@
-"""Parallel campaign execution with deterministic fan-out.
+"""Parallel campaign execution with deterministic, resilient fan-out.
 
 The offline stages of the reproduction — the §III-A data-generation
 protocol and the Fig. 4 policy × kernel evaluation grid — are
@@ -6,44 +6,62 @@ embarrassingly parallel: every task builds its own simulator from an
 explicit seed, so results are independent of execution order.  This
 module provides the shared campaign layer:
 
-* :func:`parallel_map` — ordered, chunked fan-out over a
-  ``ProcessPoolExecutor`` that degrades gracefully: pool-level failures
-  (crashed workers, unpicklable tasks) fall back to an in-process
-  serial pass, so a campaign never fails *because* it was parallel.
+* :func:`parallel_map` — ordered fan-out over a
+  ``ProcessPoolExecutor`` hardened against the failure modes a long
+  campaign actually meets: per-task retry with exponential backoff,
+  a stall watchdog that terminates hung workers, quarantine of tasks
+  that keep killing their workers (the rest of the campaign completes
+  first; quarantined tasks get one final in-process rescue), and
+  unpicklable work degrading to a serial pass.  A task that fails
+  permanently raises :class:`~repro.errors.CampaignError` carrying the
+  originating task id.
+* :class:`CampaignCheckpoint` — periodic persistence of completed task
+  results keyed by the campaign's content hash, so an interrupted
+  ``datagen``/``evaluate`` campaign resumes instead of restarting; a
+  corrupt or mismatched checkpoint is ignored, never fatal.
 * :class:`CampaignStats` — lightweight observability: per-stage
-  wall-clock timings, worker counts and named counters (cache hits and
-  misses among them), rendered by the CLI ``--stats`` flag.
+  wall-clock timings, worker counts and named counters (cache hits,
+  retries, crashes, hangs among them), rendered by the CLI ``--stats``
+  flag.
 * :func:`derive_seed` — stable per-task seed derivation so fan-out
   keeps the bit-identical determinism of the serial path.
 
-Tasks must be picklable module-level callables to actually run in
-worker processes; anything else silently takes the serial fallback
-(counted in ``parallel_fallbacks``).
+With ``workers <= 1`` the map is a plain in-process loop and task
+exceptions propagate unchanged; resilience applies to the pooled path,
+where worker death would otherwise cost the whole campaign.
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
-from .errors import ParallelError
+from .errors import CampaignError, ParallelError, ReproError
+
+logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Exception types that indicate the *pool* (not the task) failed and a
-#: serial fallback is safe: broken workers, unpicklable callables or
-#: arguments, and OS-level process failures.  Task-level library errors
-#: (``ReproError`` subclasses) propagate unchanged.
+#: Exception types that indicate the *pool* (not the task) failed:
+#: broken workers, unpicklable callables or arguments, and OS-level
+#: process failures.  Task-level library errors (``ReproError``
+#: subclasses) are handled by the retry/quarantine machinery instead.
 _POOL_FAILURES = (BrokenProcessPool, pickle.PicklingError, AttributeError,
                   TypeError, ImportError, OSError)
+
+#: Upper bound on one backoff sleep; retries never stall a campaign
+#: for more than a couple of seconds per round.
+_MAX_BACKOFF_S = 2.0
 
 
 @dataclass
@@ -63,7 +81,9 @@ class CampaignStats:
     A single instance is threaded through data generation, dataset
     assembly, caching and evaluation, so one ``render()`` shows the
     whole pipeline: where the time went, how wide each stage fanned
-    out, and whether caches were hit.
+    out, whether caches were hit, and what the resilience machinery
+    (retries, crashes, hangs, checkpoint resumes, guard trips) had to
+    absorb.
     """
 
     def __init__(self) -> None:
@@ -78,6 +98,11 @@ class CampaignStats:
     def counter(self, name: str) -> int:
         """Current value of a counter (0 if never incremented)."""
         return self.counters.get(name, 0)
+
+    def merge_counters(self, counters: dict[str, int] | None) -> None:
+        """Fold a counter dict (e.g. from a worker or a policy) in."""
+        for name, amount in (counters or {}).items():
+            self.count(name, amount)
 
     @property
     def cache_hits(self) -> int:
@@ -157,36 +182,342 @@ def default_chunksize(num_tasks: int, workers: int) -> int:
     return max(1, (num_tasks + 4 * workers - 1) // (4 * workers))
 
 
+# ---------------------------------------------------------------------------
+# Checkpointing
+# ---------------------------------------------------------------------------
+
+class CampaignCheckpoint:
+    """Periodic persistence of completed campaign-task results.
+
+    The payload is a pickle of ``{magic, key, results}`` where ``key``
+    identifies the campaign (callers pass the same content-addressed
+    hash that names the final artefact), so a checkpoint can never be
+    resumed into a different campaign.  Writes are atomic
+    (tmp + ``os.replace``); a corrupt, truncated or mismatched file
+    loads as empty — resuming degrades to restarting, never to
+    crashing.  Because campaign tasks are deterministic, a resumed
+    campaign's final artefact is byte-identical to an uninterrupted
+    run's.
+    """
+
+    MAGIC = "repro-campaign-checkpoint-v1"
+
+    def __init__(self, path: str | Path, key: str = "",
+                 every: int = 1) -> None:
+        if every < 1:
+            raise ParallelError("checkpoint interval must be >= 1 task")
+        self.path = Path(path)
+        self.key = str(key)
+        self.every = int(every)
+        self.loaded_tasks = 0
+        self.saves = 0
+
+    def load(self, expected_tasks: int | None = None) -> dict[int, object]:
+        """Completed results from disk ({} for missing/corrupt/mismatch)."""
+        if not self.path.exists():
+            return {}
+        try:
+            payload = pickle.loads(self.path.read_bytes())
+            if (payload.get("magic") != self.MAGIC
+                    or payload.get("key") != self.key):
+                logger.warning("checkpoint %s belongs to a different "
+                               "campaign; ignoring", self.path)
+                return {}
+            results = dict(payload["results"])
+        except Exception:
+            logger.warning("corrupt campaign checkpoint %s; ignoring",
+                           self.path, exc_info=True)
+            return {}
+        if expected_tasks is not None:
+            results = {index: value for index, value in results.items()
+                       if 0 <= index < expected_tasks}
+        self.loaded_tasks = len(results)
+        return results
+
+    def save(self, results: dict[int, object]) -> None:
+        """Atomically persist the completed results."""
+        payload = {"magic": self.MAGIC, "key": self.key,
+                   "results": dict(results)}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_bytes(pickle.dumps(payload))
+        os.replace(tmp, self.path)
+        self.saves += 1
+
+    def clear(self) -> None:
+        """Remove the checkpoint (the campaign completed)."""
+        self.path.unlink(missing_ok=True)
+
+
+# ---------------------------------------------------------------------------
+# Resilient fan-out
+# ---------------------------------------------------------------------------
+
+def _run_group(fn: Callable[[T], R],
+               tasks: list[T]) -> list[tuple[bool, object]]:
+    """Worker-side unit: run a task group, reporting per-task outcomes.
+
+    Task exceptions are captured per task (so one bad task cannot hide
+    its group-mates' finished results); ``KeyboardInterrupt`` and other
+    ``BaseException``s propagate to the pool machinery unchanged.
+    """
+    outcomes: list[tuple[bool, object]] = []
+    for task in tasks:
+        try:
+            outcomes.append((True, fn(task)))
+        except Exception as exc:
+            outcomes.append((False, exc))
+    return outcomes
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool whose workers may be hung or dead.
+
+    ``shutdown(wait=True)`` would block forever on a hung worker, so
+    the worker processes are terminated first.  Uses the executor's
+    process table (no public kill API exists); guarded so a changed
+    interpreter internal degrades to a plain shutdown.
+    """
+    processes = list(getattr(pool, "_processes", None) or {})
+    process_map = getattr(pool, "_processes", None) or {}
+    for pid in processes:
+        try:
+            process_map[pid].terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for pid in processes:
+        try:
+            process_map[pid].join(timeout=5.0)
+        except Exception:
+            pass
+
+
+def _is_picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
 def _serial_map(fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
     return [fn(task) for task in tasks]
+
+
+def _serial_pass(fn: Callable[[T], R], tasks: Sequence[T],
+                 results: dict[int, R], stats: CampaignStats,
+                 checkpoint: CampaignCheckpoint | None) -> list[R]:
+    """In-process completion of every task not already in ``results``."""
+    since_save = 0
+    try:
+        for index, task in enumerate(tasks):
+            if index in results:
+                continue
+            results[index] = fn(task)
+            since_save += 1
+            if checkpoint is not None and since_save >= checkpoint.every:
+                checkpoint.save(results)
+                stats.count("campaign_checkpoint_saves")
+                since_save = 0
+    except BaseException:
+        if checkpoint is not None and since_save:
+            checkpoint.save(results)
+            stats.count("campaign_checkpoint_saves")
+        raise
+    if checkpoint is not None:
+        checkpoint.clear()
+    return [results[index] for index in range(len(tasks))]
 
 
 def parallel_map(fn: Callable[[T], R], tasks: Iterable[T], *,
                  workers: int | None = None, chunksize: int | None = None,
                  stats: CampaignStats | None = None,
-                 stage: str = "campaign") -> list[R]:
-    """Map ``fn`` over ``tasks``, preserving order.
+                 stage: str = "campaign", retries: int = 2,
+                 backoff_s: float = 0.05, timeout_s: float | None = None,
+                 checkpoint: CampaignCheckpoint | None = None) -> list[R]:
+    """Map ``fn`` over ``tasks``, preserving order, surviving failures.
 
-    With ``workers`` > 1 the map fans out over a process pool in chunks;
-    any pool-level failure (worker crash, unpicklable task) falls back
-    to a serial in-process pass over *all* tasks, so results are always
-    complete and ordered.  Exceptions raised by ``fn`` itself propagate
-    unchanged, exactly as a plain loop would raise them.
+    With ``workers`` > 1 the map fans out over a process pool and
+    absorbs the pool's failure modes:
+
+    * A worker crash (``BrokenProcessPool``) or a raised task exception
+      costs the affected tasks one attempt; they are re-dispatched —
+      individually, with exponential backoff — up to ``retries`` times.
+      Deterministic library errors (``ReproError`` subclasses) skip
+      straight past the pointless retries.
+    * ``timeout_s`` is a stall watchdog: if *no* task completes for
+      that long, the outstanding workers are presumed hung, terminated,
+      and their tasks re-attempted.
+    * A task that exhausts its attempts is quarantined — excluded from
+      re-dispatch so the rest of the campaign completes — then given
+      one final in-process rescue.  If even that fails, the campaign
+      raises :class:`CampaignError` carrying the task id (completed
+      results are checkpointed first when a checkpoint is configured).
+    * An unpicklable ``fn`` falls back to a serial in-process pass
+      (counted in ``parallel_fallbacks``), so a campaign never fails
+      *because* it was parallel.
+
+    With ``workers <= 1`` the map is a plain loop and task exceptions
+    propagate unchanged, exactly as the serial pipeline would raise
+    them.  ``checkpoint`` persists completed results periodically and
+    seeds the map on the next invocation, so interrupted campaigns
+    resume instead of restarting.
     """
     tasks = list(tasks)
     stats = stats if stats is not None else CampaignStats()
+    if retries < 0:
+        raise ParallelError("retries cannot be negative")
     workers = min(resolve_workers(workers), max(1, len(tasks)))
+
+    results: dict[int, R] = {}
+    if checkpoint is not None:
+        results = checkpoint.load(expected_tasks=len(tasks))
+        if results:
+            stats.count("campaign_tasks_resumed", len(results))
+
     if workers <= 1:
         with stats.stage(stage, tasks=len(tasks), workers=1, mode="serial"):
-            return _serial_map(fn, tasks)
-    chunk = chunksize or default_chunksize(len(tasks), workers)
+            return _serial_pass(fn, tasks, results, stats, checkpoint)
+
+    if not _is_picklable(fn):
+        # The pool cannot even receive the work; degrade to serial.
+        stats.count("parallel_fallbacks")
+        with stats.stage(stage, tasks=len(tasks), workers=1, mode="fallback"):
+            return _serial_pass(fn, tasks, results, stats, checkpoint)
+
     with stats.stage(stage, tasks=len(tasks), workers=workers,
                      mode="parallel") as timing:
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(fn, tasks, chunksize=chunk))
-        except _POOL_FAILURES:
+        attempts: dict[int, int] = {}
+        last_error: dict[int, BaseException | None] = {}
+        quarantined: list[int] = []
+        round_index = 0
+        since_save = 0
+
+        def _save_checkpoint() -> None:
+            nonlocal since_save
+            if checkpoint is not None and since_save:
+                checkpoint.save(results)
+                stats.count("campaign_checkpoint_saves")
+                since_save = 0
+
+        def _record_failure(index: int, exc: BaseException | None,
+                            counter: str) -> None:
+            stats.count(counter)
+            last_error[index] = exc
+            attempts[index] = attempts.get(index, 0) + 1
+            # Deterministic library errors re-fail identically; skip the
+            # pointless pool retries and go straight to quarantine.
+            if isinstance(exc, ReproError):
+                attempts[index] = retries + 1
+
+        while True:
+            pending = [index for index in range(len(tasks))
+                       if index not in results
+                       and attempts.get(index, 0) <= retries]
+            if not pending:
+                break
+            if round_index > 0:
+                time.sleep(min(backoff_s * (2 ** (round_index - 1)),
+                               _MAX_BACKOFF_S))
+                stats.count("campaign_retries", len(pending))
+            # First round dispatches in chunks (amortised pickling);
+            # retry rounds go task-by-task so one poisoned task cannot
+            # drag innocent chunk-mates through its failures.
+            if round_index == 0:
+                chunk = chunksize or default_chunksize(len(pending), workers)
+            else:
+                chunk = 1
+            groups = [pending[start:start + chunk]
+                      for start in range(0, len(pending), chunk)]
+
+            pool = ProcessPoolExecutor(max_workers=workers)
+            pool_dirty = False
+            try:
+                futures = {}
+                for group in groups:
+                    try:
+                        future = pool.submit(_run_group, fn,
+                                             [tasks[i] for i in group])
+                    except BaseException as exc:
+                        for index in group:
+                            _record_failure(index, exc,
+                                            "campaign_worker_crashes")
+                        continue
+                    futures[future] = group
+                outstanding = set(futures)
+                while outstanding:
+                    done, outstanding = wait(outstanding, timeout=timeout_s,
+                                             return_when=FIRST_COMPLETED)
+                    if not done:
+                        # Stall watchdog: nothing finished for timeout_s.
+                        pool_dirty = True
+                        for future in outstanding:
+                            for index in futures[future]:
+                                if index not in results:
+                                    _record_failure(index, None,
+                                                    "campaign_hangs")
+                        break
+                    for future in done:
+                        group = futures[future]
+                        try:
+                            outcomes = future.result()
+                        except (KeyboardInterrupt, SystemExit):
+                            pool_dirty = True
+                            raise
+                        except BaseException as exc:
+                            counter = ("campaign_worker_crashes"
+                                       if isinstance(exc, BrokenProcessPool)
+                                       else "campaign_task_errors")
+                            for index in group:
+                                _record_failure(index, exc, counter)
+                            continue
+                        for index, (ok, value) in zip(group, outcomes):
+                            if ok:
+                                results[index] = value
+                                since_save += 1
+                            else:
+                                _record_failure(index, value,
+                                                "campaign_task_errors")
+            except BaseException:
+                _terminate_pool(pool)
+                _save_checkpoint()
+                raise
+            else:
+                if pool_dirty:
+                    _terminate_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+            if checkpoint is not None and since_save >= checkpoint.every:
+                _save_checkpoint()
+            round_index += 1
+
+        quarantined = [index for index in range(len(tasks))
+                       if index not in results]
+        if quarantined:
+            # Quarantine rescue: the pool kept failing these tasks, so
+            # give each one final in-process attempt — the same serial
+            # degradation the layer has always promised.
             stats.count("parallel_fallbacks")
+            stats.count("campaign_quarantined", len(quarantined))
             timing.mode = "fallback"
-            timing.workers = 1
-            return _serial_map(fn, tasks)
+            for index in quarantined:
+                try:
+                    results[index] = fn(tasks[index])
+                    stats.count("campaign_serial_rescues")
+                    since_save += 1
+                except Exception as exc:
+                    _save_checkpoint()
+                    cause = last_error.get(index) or exc
+                    raise CampaignError(
+                        f"task {index} failed after "
+                        f"{attempts.get(index, 0)} pooled attempts and an "
+                        f"in-process rescue: {cause!r}",
+                        task_id=index) from exc
+
+        if checkpoint is not None:
+            checkpoint.clear()
+        return [results[index] for index in range(len(tasks))]

@@ -1,6 +1,9 @@
-"""Parallel campaign layer: determinism, caching, worker fallback."""
+"""Parallel campaign layer: determinism, caching, worker fallback,
+retries, hang recovery, quarantine and checkpoint resume."""
 
+import multiprocessing
 import os
+import time
 from functools import partial
 
 import numpy as np
@@ -9,15 +12,19 @@ import pytest
 from repro.core.policy import StaticPolicy
 from repro.datagen.cache import cached_dataset, content_key
 from repro.datagen.dataset import DVFSDataset
-from repro.datagen.protocol import (ProtocolConfig, generate_chunks_for_suite,
-                                    generate_for_suite)
-from repro.errors import ParallelError
+from repro.datagen.protocol import (ProtocolConfig, _kernel_task,
+                                    generate_chunks_for_suite,
+                                    generate_for_suite,
+                                    scale_kernel_for_protocol)
+from repro.errors import CampaignError, ParallelError
 from repro.evaluation.cache import cached_comparison, comparison_cache_key
 from repro.evaluation.runner import ComparisonResult, compare_policies
+from repro.faults import FlakyTask
 from repro.gpu.kernels import KernelProfile
 from repro.gpu.phases import balanced_phase, compute_phase, memory_phase
-from repro.parallel import (CampaignStats, default_chunksize, derive_seed,
-                            parallel_map, resolve_workers)
+from repro.parallel import (CampaignCheckpoint, CampaignStats,
+                            default_chunksize, derive_seed, parallel_map,
+                            resolve_workers)
 
 CFG = ProtocolConfig(max_breakpoints_per_kernel=2, seed=7)
 
@@ -100,6 +107,132 @@ def test_task_errors_propagate():
         raise ValueError("task failure")
     with pytest.raises(ValueError):
         parallel_map(boom, [1], workers=1)
+
+
+# ---------------------------------------------------------------------------
+# Resilience: retries, hangs, quarantine, interrupts, checkpoints
+# ---------------------------------------------------------------------------
+
+def _plus_one(x):
+    return x + 1
+
+
+def _boom_on_two(x):
+    if x == 2:
+        raise ValueError("task two always fails")
+    return x + 1
+
+
+def _interrupt_in_worker(x):
+    raise KeyboardInterrupt
+
+
+def test_crashed_tasks_are_retried_to_completion(tmp_path):
+    flaky = FlakyTask(_plus_one, tmp_path, mode="exit", faults_per_task=1)
+    stats = CampaignStats()
+    # A worker exit breaks the whole pool, so every outstanding task in
+    # the round is charged an attempt; give enough retries that the four
+    # single-fault tasks always recover without quarantine.
+    out = parallel_map(flaky, [1, 2, 3, 4], workers=2, stats=stats,
+                       backoff_s=0.01, retries=6)
+    assert out == [2, 3, 4, 5]
+    assert stats.counter("campaign_worker_crashes") > 0
+    assert stats.counter("campaign_retries") > 0
+    # The pool recovered on its own: no serial fallback was needed.
+    assert stats.counter("parallel_fallbacks") == 0
+    assert stats.stages[-1].mode == "parallel"
+
+
+def test_hung_workers_are_terminated_and_tasks_retried(tmp_path):
+    flaky = FlakyTask(_plus_one, tmp_path, mode="hang", hang_s=60.0,
+                      faults_per_task=1)
+    stats = CampaignStats()
+    start = time.monotonic()
+    out = parallel_map(flaky, [1, 2], workers=2, stats=stats,
+                       timeout_s=1.5, backoff_s=0.01)
+    assert out == [2, 3]
+    # The watchdog must fire at ~timeout_s, not wait out the hang.
+    assert time.monotonic() - start < 30.0
+    assert stats.counter("campaign_hangs") > 0
+
+
+def test_permanent_task_failure_raises_campaign_error_with_task_id():
+    stats = CampaignStats()
+    with pytest.raises(CampaignError) as excinfo:
+        parallel_map(_boom_on_two, [1, 2, 3], workers=2, stats=stats,
+                     retries=1, backoff_s=0.01)
+    assert excinfo.value.task_id == 1  # 2 is the second task
+    assert stats.counter("campaign_quarantined") == 1
+    assert stats.counter("campaign_task_errors") > 0
+
+
+def test_keyboard_interrupt_shuts_pool_down_cleanly():
+    with pytest.raises(KeyboardInterrupt):
+        parallel_map(_interrupt_in_worker, [1, 2, 3, 4], workers=2)
+    # No orphaned pool workers may survive the interrupt.
+    deadline = time.monotonic() + 10.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+def test_raise_mode_fault_is_rescued_in_process(tmp_path):
+    flaky = FlakyTask(_plus_one, tmp_path, mode="raise", faults_per_task=1)
+    stats = CampaignStats()
+    out = parallel_map(flaky, [5, 6], workers=2, stats=stats, backoff_s=0.01)
+    assert out == [6, 7]
+    # FaultInjectionError is a deterministic ReproError: no pool retries,
+    # straight to the quarantine rescue (whose second attempt succeeds).
+    assert stats.counter("campaign_serial_rescues") == 2
+    assert stats.stages[-1].mode == "fallback"
+
+
+def test_checkpoint_resume_completes_interrupted_campaign(tmp_path):
+    path = tmp_path / "campaign.ckpt"
+    tasks = list(range(6))
+    # Seed a half-finished campaign the way an interrupted run would.
+    partial_ckpt = CampaignCheckpoint(path, key="demo")
+    partial_ckpt.save({0: 1, 1: 2, 2: 3})
+    stats = CampaignStats()
+    out = parallel_map(_plus_one, tasks, workers=2, stats=stats,
+                       checkpoint=CampaignCheckpoint(path, key="demo"))
+    assert out == [t + 1 for t in tasks]
+    assert stats.counter("campaign_tasks_resumed") == 3
+    # A completed campaign clears its checkpoint.
+    assert not path.exists()
+    # And the resumed result matches an uninterrupted run exactly.
+    assert out == parallel_map(_plus_one, tasks, workers=1)
+
+
+def test_checkpoint_key_mismatch_and_corruption_are_ignored(tmp_path):
+    path = tmp_path / "campaign.ckpt"
+    CampaignCheckpoint(path, key="other-campaign").save({0: 999})
+    assert CampaignCheckpoint(path, key="mine").load() == {}
+    path.write_bytes(b"\x00garbage not a pickle")
+    assert CampaignCheckpoint(path, key="mine").load() == {}
+    stats = CampaignStats()
+    out = parallel_map(_plus_one, [1, 2], workers=1, stats=stats,
+                       checkpoint=CampaignCheckpoint(path, key="mine"))
+    assert out == [2, 3]
+    assert stats.counter("campaign_tasks_resumed") == 0
+
+
+def test_faulted_datagen_campaign_is_bit_identical_to_fault_free(
+        tmp_path, small_arch):
+    config = CFG
+    tasks = [(scale_kernel_for_protocol(k, small_arch, config), small_arch,
+              None, config) for k in _suite()]
+    clean = parallel_map(_kernel_task, tasks, workers=1)
+    flaky = FlakyTask(_kernel_task, tmp_path, mode="exit", faults_per_task=1)
+    stats = CampaignStats()
+    retried = parallel_map(flaky, tasks, workers=2, stats=stats,
+                           backoff_s=0.01)
+    assert stats.counter("campaign_worker_crashes") > 0
+    clean_ds = DVFSDataset.from_breakpoint_chunks(
+        [chunk for chunk, _ in clean])
+    retried_ds = DVFSDataset.from_breakpoint_chunks(
+        [chunk for chunk, _ in retried])
+    _assert_datasets_identical(clean_ds, retried_ds)
 
 
 def test_resolve_workers():
@@ -209,6 +342,35 @@ def test_no_cache_regenerates_but_refreshes_file(tmp_path, small_arch):
     assert len(list(tmp_path.glob("dvfs-*.npz"))) == 1
 
 
+def test_corrupt_dataset_cache_is_regenerated(tmp_path, small_arch):
+    stats = CampaignStats()
+    first = cached_dataset(tmp_path, _suite(), small_arch, CFG, stats=stats)
+    [path] = tmp_path.glob("dvfs-*.npz")
+    # Flip bits in the middle of the payload (a torn write / bit-rot).
+    blob = bytearray(path.read_bytes())
+    for offset in range(len(blob) // 2, len(blob) // 2 + 64):
+        blob[offset] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    recovered = cached_dataset(tmp_path, _suite(), small_arch, CFG,
+                               stats=stats)
+    assert stats.counter("dataset_cache_corrupt") == 1
+    assert stats.counter("dataset_cache_miss") == 2
+    _assert_datasets_identical(first, recovered)
+    # The regenerated artefact replaced the corrupt file: next load hits.
+    rewarmed = CampaignStats()
+    cached_dataset(tmp_path, _suite(), small_arch, CFG, stats=rewarmed)
+    assert rewarmed.counter("dataset_cache_hit") == 1
+
+
+def test_truncated_dataset_cache_is_regenerated(tmp_path, small_arch):
+    stats = CampaignStats()
+    cached_dataset(tmp_path, _suite(), small_arch, CFG, stats=stats)
+    [path] = tmp_path.glob("dvfs-*.npz")
+    path.write_bytes(path.read_bytes()[:20])
+    cached_dataset(tmp_path, _suite(), small_arch, CFG, stats=stats)
+    assert stats.counter("dataset_cache_corrupt") == 1
+
+
 def test_content_key_is_order_insensitive():
     assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
     assert content_key({"a": 1}) != content_key({"a": 2})
@@ -257,6 +419,19 @@ def test_comparison_cache_hit_and_token_invalidation(tmp_path, small_arch):
     cached_comparison(tmp_path, _factories(), [_eval_kernel()], small_arch,
                       0.1, seed=3, stats=retoken, cache_token="other-models")
     assert retoken.counter("comparison_cache_miss") == 1
+
+
+def test_corrupt_comparison_cache_is_rerun(tmp_path, small_arch):
+    stats = CampaignStats()
+    first = cached_comparison(tmp_path, _factories(), [_eval_kernel()],
+                              small_arch, 0.1, seed=3, stats=stats)
+    [path] = tmp_path.glob("grid-*.json")
+    path.write_text(path.read_text()[:25])  # truncated JSON
+    recovered = cached_comparison(tmp_path, _factories(), [_eval_kernel()],
+                                  small_arch, 0.1, seed=3, stats=stats)
+    assert stats.counter("comparison_cache_corrupt") == 1
+    assert stats.counter("comparison_cache_miss") == 2
+    assert first.to_payload() == recovered.to_payload()
 
 
 def test_comparison_key_depends_on_grid_parameters(small_arch):
