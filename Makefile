@@ -7,12 +7,16 @@
 # slowing the gate down.  It also runs the epoch-engine perf gate
 # (solution-cache and batched-inference speedups, self-timed with
 # perf_counter) and writes benchmarks/results/BENCH_epoch_engine.json,
-# which CI uploads as an artifact.
+# which CI uploads as an artifact.  `train-bench-smoke` is the matching
+# gate for the offline training pipeline (batched RFE scoring, sweep
+# cache, population replicas); it writes
+# benchmarks/results/BENCH_training_pipeline.json.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow bench-smoke bench faults-smoke
+.PHONY: test test-fast test-slow bench-smoke train-bench-smoke bench \
+	faults-smoke
 
 test-fast:
 	$(PYTHON) -m pytest -q -m "not slow"
@@ -33,6 +37,9 @@ test-slow:
 
 bench-smoke:
 	$(PYTHON) -m pytest -q benchmarks/bench_sim_throughput.py --benchmark-disable
+
+train-bench-smoke:
+	$(PYTHON) -m pytest -q benchmarks/bench_training_pipeline.py --benchmark-disable
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

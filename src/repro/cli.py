@@ -125,7 +125,7 @@ def cmd_train(args) -> int:
     stats = CampaignStats()
     dataset = _dataset(args, stats)
     if args.features == "rfe":
-        table1 = run_table1(dataset, arch, seed=args.seed)
+        table1 = run_table1(dataset, arch, seed=args.seed, stats=stats)
         print(table1.render())
         features = table1.rfe.all_features
     else:
@@ -136,7 +136,8 @@ def cmd_train(args) -> int:
                           learning_rate=2e-3, seed=args.seed),
         seed=args.seed,
     )
-    pipeline = build_from_dataset(dataset, arch, config)
+    pipeline = build_from_dataset(dataset, arch, config,
+                                  workers=args.workers, stats=stats)
     out = Path(args.out)
     for variant, model in pipeline.models.items():
         model.save(out / variant)
@@ -268,8 +269,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(1 = serial, 0 = all cores)")
         p.add_argument("--stats", action="store_true",
                        help="print campaign timings and cache counters "
-                            "(dataset/comparison disk caches plus the "
-                            "interval-model solve_cache_hit/miss pair)")
+                            "(dataset/comparison/sweep disk caches, the "
+                            "interval-model solve_cache_hit/miss pair, and "
+                            "the train_models/train_epochs totals)")
         p.add_argument("--no-cache", action="store_true",
                        help="ignore cached artefacts and regenerate "
                             "(the fresh result still refreshes the cache)")

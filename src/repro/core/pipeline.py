@@ -16,6 +16,7 @@ and packages each stage's pair as a deployable
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from ..datagen.dataset import DVFSDataset, PreparedData
 from ..datagen.protocol import ProtocolConfig, generate_for_suite
@@ -27,6 +28,7 @@ from ..nn.compress import (PAPER_BASE_SPEC, PAPER_COMPRESSED_SPEC,
                            PAPER_PRUNE_PARAMS, ArchitectureSpec, TrainedPair,
                            prune_and_finetune, train_pair)
 from ..nn.trainer import TrainConfig
+from ..parallel import CampaignStats, parallel_map
 from .combined import SSMDVFSModel
 
 #: Model variants the pipeline can produce.
@@ -91,12 +93,31 @@ def _package(pair: TrainedPair, prepared: PreparedData, arch: GPUArchConfig,
     )
 
 
+def _train_variant_task(decision_data, calibrator_data, num_levels: int,
+                        task: tuple) -> tuple[str, TrainedPair]:
+    """Train one pipeline variant's pair (module-level for fan-out)."""
+    variant, spec, train_config, seed = task
+    pair = train_pair(spec, decision_data, calibrator_data, num_levels,
+                      train_config, seed=seed)
+    return variant, pair
+
+
 def build_from_dataset(dataset: DVFSDataset, arch: GPUArchConfig,
                        config: PipelineConfig | None = None,
-                       variants: tuple[str, ...] = VARIANTS
+                       variants: tuple[str, ...] = VARIANTS, *,
+                       workers: int | None = None,
+                       stats: CampaignStats | None = None
                        ) -> PipelineResult:
-    """Run stages 2-5 on an existing dataset (datagen is expensive)."""
+    """Run stages 2-5 on an existing dataset (datagen is expensive).
+
+    ``workers`` fans the independent base/compressed trainings out
+    through the campaign layer (the pruned variant depends on the
+    compressed pair, so it fine-tunes afterwards); ``stats`` collects
+    the stage timings plus the ``train_models`` / ``train_epochs``
+    counters alongside RFE's own counters.
+    """
     config = config or PipelineConfig()
+    stats = stats if stats is not None else CampaignStats()
     unknown = set(variants) - set(VARIANTS)
     if unknown:
         raise ModelError(f"unknown variants: {sorted(unknown)}")
@@ -107,7 +128,7 @@ def build_from_dataset(dataset: DVFSDataset, arch: GPUArchConfig,
     if config.feature_names is None:
         selector = RFESelector(dataset, arch.issue_width,
                                target_count=config.rfe_target,
-                               seed=config.seed)
+                               seed=config.seed, stats=stats)
         rfe_result = selector.run()
         feature_names = rfe_result.all_features
     else:
@@ -119,19 +140,29 @@ def build_from_dataset(dataset: DVFSDataset, arch: GPUArchConfig,
 
     pairs: dict[str, TrainedPair] = {}
     models: dict[str, SSMDVFSModel] = {}
+    tasks = []
     if "base" in variants:
-        pairs["base"] = train_pair(config.base_spec, prepared.decision,
-                                   prepared.calibrator, prepared.num_levels,
-                                   config.train, seed=config.seed)
+        tasks.append(("base", config.base_spec, config.train, config.seed))
     if "compressed" in variants:
-        pairs["compressed"] = train_pair(
-            config.compressed_spec, prepared.decision, prepared.calibrator,
-            prepared.num_levels, config.train, seed=config.seed + 1)
+        tasks.append(("compressed", config.compressed_spec, config.train,
+                      config.seed + 1))
+    if tasks:
+        outputs = parallel_map(
+            partial(_train_variant_task, prepared.decision,
+                    prepared.calibrator, prepared.num_levels),
+            tasks, workers=workers, stats=stats, stage="train_variants")
+        for variant, pair in outputs:
+            pairs[variant] = pair
+            stats.count("train_models", 2)
+            stats.count("train_epochs", pair.epochs_run)
     if "pruned" in variants:
         x1, x2 = config.prune_params
-        pairs["pruned"] = prune_and_finetune(
-            pairs["compressed"], x1, x2, prepared.decision,
-            prepared.calibrator, config.finetune)
+        with stats.stage("prune_finetune", tasks=1):
+            pairs["pruned"] = prune_and_finetune(
+                pairs["compressed"], x1, x2, prepared.decision,
+                prepared.calibrator, config.finetune)
+        stats.count("train_models", 2)
+        stats.count("train_epochs", pairs["pruned"].epochs_run)
     for variant, pair in pairs.items():
         models[variant] = _package(pair, prepared, arch, variant)
 
@@ -147,9 +178,12 @@ def build_from_dataset(dataset: DVFSDataset, arch: GPUArchConfig,
 
 def build_ssmdvfs(arch: GPUArchConfig, kernels: list[KernelProfile],
                   config: PipelineConfig | None = None,
-                  variants: tuple[str, ...] = VARIANTS) -> PipelineResult:
+                  variants: tuple[str, ...] = VARIANTS, *,
+                  workers: int | None = None,
+                  stats: CampaignStats | None = None) -> PipelineResult:
     """The full offline build: data generation through pruned model."""
     config = config or PipelineConfig()
     breakpoints = generate_for_suite(kernels, arch, config=config.protocol)
     dataset = DVFSDataset.from_breakpoints(breakpoints)
-    return build_from_dataset(dataset, arch, config, variants)
+    return build_from_dataset(dataset, arch, config, variants,
+                              workers=workers, stats=stats)

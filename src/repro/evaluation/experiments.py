@@ -70,10 +70,18 @@ class Table1Result:
 
 
 def run_table1(dataset: DVFSDataset, arch: GPUArchConfig,
-               target_count: int = 3, seed: int = 0) -> Table1Result:
-    """Reproduce Table I: RFE down to three indirect features + power."""
+               target_count: int = 3, seed: int = 0,
+               batched: bool = True,
+               stats: CampaignStats | None = None) -> Table1Result:
+    """Reproduce Table I: RFE down to three indirect features + power.
+
+    ``batched=True`` (the default) scores all candidate columns of each
+    round with one stacked forward pass; ``batched=False`` keeps the
+    column-by-column loop (same results, for cross-checking).
+    """
     selector = RFESelector(dataset, arch.issue_width,
-                           target_count=target_count, seed=seed)
+                           target_count=target_count, seed=seed,
+                           batched=batched, stats=stats)
     rfe = selector.run()
     selected = [(name, paper_category(name)) for name in rfe.all_features]
     return Table1Result(rfe=rfe, selected_with_categories=selected)
@@ -213,20 +221,37 @@ class Fig3Result:
 
 def run_fig3(pipeline: PipelineResult, specs=None, grid=None,
              train_config: TrainConfig | None = None,
-             seed: int = 0) -> Fig3Result:
-    """Reproduce Fig. 3's two compression frontiers."""
+             seed: int = 0, *, workers: int | None = None,
+             stats: CampaignStats | None = None,
+             cache_dir: str | None = None, use_cache: bool = True,
+             checkpoint: bool = False, retries: int = 2,
+             timeout_s: float | None = None) -> Fig3Result:
+    """Reproduce Fig. 3's two compression frontiers.
+
+    Both sweeps fan out through the campaign layer; with ``cache_dir``
+    set, each trained grid point is cached content-addressed on its
+    (spec or prune params, train config, data fingerprint) key, so a
+    repeat invocation — or an overlapping grid — retrains only what it
+    has never seen.
+    """
     prepared = pipeline.prepared
     train_config = train_config or TrainConfig(
         epochs=60, patience=10, learning_rate=2e-3)
     layerwise = layer_wise_sweep(
         prepared.decision, prepared.calibrator, prepared.num_levels,
         specs=specs or default_layerwise_grid(), config=train_config,
-        seed=seed)
+        seed=seed, workers=workers, stats=stats, cache_dir=cache_dir,
+        use_cache=use_cache, checkpoint=checkpoint, retries=retries,
+        timeout_s=timeout_s)
     base_pair = pipeline.pairs.get("base")
     if base_pair is None:
         raise ReproError("pipeline must include the base variant for Fig. 3")
     pruning = pruning_sweep(base_pair, prepared.decision, prepared.calibrator,
-                            grid=grid or default_pruning_grid())
+                            grid=grid or default_pruning_grid(),
+                            workers=workers, stats=stats,
+                            cache_dir=cache_dir, use_cache=use_cache,
+                            checkpoint=checkpoint, retries=retries,
+                            timeout_s=timeout_s)
     return Fig3Result(layerwise=layerwise, pruning=pruning)
 
 

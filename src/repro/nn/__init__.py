@@ -4,7 +4,9 @@ from .compress import (PAPER_BASE_SPEC, PAPER_COMPRESSED_SPEC,
                        PAPER_PRUNE_PARAMS, ArchitectureSpec, CompressionPoint,
                        SplitData, TrainedPair, default_layerwise_grid,
                        default_pruning_grid, evaluate_pair, layer_wise_sweep,
-                       prune_and_finetune, pruning_sweep, train_pair)
+                       pair_fingerprint, prune_and_finetune, pruning_sweep,
+                       split_fingerprint, sweep_cache_key, train_pair,
+                       train_pair_replicas)
 from .flops import combined_flops, layer_flops, macs, model_flops
 from .initializers import get_initializer, he_uniform, xavier_uniform
 from .layers import Dense
@@ -13,6 +15,10 @@ from .metrics import (accuracy, confusion_matrix, macro_f1, mape,
                       within_one_accuracy)
 from .mlp import MLP
 from .optim import SGD, Adam
+from .population import (PopulationAdam, PopulationDense, PopulationMLP,
+                         PopulationSGD, fit_population,
+                         train_population_classifier,
+                         train_population_regressor)
 from .prune import PruneReport, magnitude_prune, neuron_prune, prune_model
 from .quant import (FixedPointFormat, QuantizationReport, choose_format,
                     quantize_model)
@@ -25,7 +31,9 @@ __all__ = [
     "PAPER_BASE_SPEC", "PAPER_COMPRESSED_SPEC", "PAPER_PRUNE_PARAMS",
     "ArchitectureSpec", "CompressionPoint", "SplitData", "TrainedPair",
     "default_layerwise_grid", "default_pruning_grid", "evaluate_pair",
-    "layer_wise_sweep", "prune_and_finetune", "pruning_sweep", "train_pair",
+    "layer_wise_sweep", "pair_fingerprint", "prune_and_finetune",
+    "pruning_sweep", "split_fingerprint", "sweep_cache_key", "train_pair",
+    "train_pair_replicas",
     "combined_flops", "layer_flops", "macs", "model_flops",
     "get_initializer", "he_uniform", "xavier_uniform",
     "Dense",
@@ -34,6 +42,9 @@ __all__ = [
     "within_one_accuracy",
     "MLP",
     "SGD", "Adam",
+    "PopulationAdam", "PopulationDense", "PopulationMLP", "PopulationSGD",
+    "fit_population", "train_population_classifier",
+    "train_population_regressor",
     "PruneReport", "magnitude_prune", "neuron_prune", "prune_model",
     "FixedPointFormat", "QuantizationReport", "choose_format",
     "quantize_model",

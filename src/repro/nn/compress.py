@@ -12,20 +12,44 @@ frontiers in FLOPs-vs-quality space:
 
 Quality is Decision-maker accuracy and Calibrator MAPE, evaluated on a
 held-out test split.
+
+Both sweeps fan their grid points out through the shared campaign layer
+(:func:`repro.parallel.parallel_map` — retries, stall watchdog,
+checkpointing and stats come for free) and cache each trained point
+content-addressed on ``(spec or prune params, train config, data
+fingerprint)``, alongside the datagen and evaluation caches.  A grid
+point is deterministic given that key, so re-sweeping after an
+interruption or with an overlapping grid trains only the missing
+points.  Homogeneous seed-replicated training goes through
+:func:`train_pair_replicas`, which fuses all replicas into one
+:mod:`repro.nn.population` lockstep pass instead of a Python loop of
+scalar trainings.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+import logging
+import os
+from dataclasses import asdict, dataclass
+from functools import partial
+from pathlib import Path
 
 import numpy as np
 
 from ..errors import CompressionError
+from ..parallel import CampaignCheckpoint, CampaignStats, parallel_map
 from .flops import model_flops
 from .metrics import accuracy, mape
 from .mlp import MLP
+from .population import (PopulationMLP, train_population_classifier,
+                         train_population_regressor)
 from .prune import prune_model
-from .trainer import TrainConfig, train_classifier, train_regressor
+from .trainer import (TrainConfig, TrainHistory, train_classifier,
+                      train_regressor)
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -101,6 +125,8 @@ class TrainedPair:
     calibrator: MLP
     accuracy_pct: float
     mape_pct: float
+    decision_history: TrainHistory | None = None
+    calibrator_history: TrainHistory | None = None
 
     @property
     def flops_dense(self) -> int:
@@ -112,6 +138,12 @@ class TrainedPair:
         """Sparse FLOPs per decision epoch (both heads)."""
         return (model_flops(self.decision, sparse=True)
                 + model_flops(self.calibrator, sparse=True))
+
+    @property
+    def epochs_run(self) -> int:
+        """Training epochs over both heads (0 when histories absent)."""
+        return sum(h.epochs_run for h in
+                   (self.decision_history, self.calibrator_history) if h)
 
 
 def evaluate_pair(decision: MLP, calibrator: MLP, decision_data: SplitData,
@@ -135,13 +167,65 @@ def train_pair(spec: ArchitectureSpec, decision_data: SplitData,
                     num_levels], rng=rng)
     calibrator = MLP([calibrator_data.x_train.shape[1],
                       *spec.calibrator_hidden, 1], rng=rng)
-    train_classifier(decision, decision_data.x_train,
-                     decision_data.y_train, config)
-    train_regressor(calibrator, calibrator_data.x_train,
-                    calibrator_data.y_train, config)
+    decision_history = train_classifier(decision, decision_data.x_train,
+                                        decision_data.y_train, config)
+    calibrator_history = train_regressor(calibrator, calibrator_data.x_train,
+                                         calibrator_data.y_train, config)
     acc, err = evaluate_pair(decision, calibrator, decision_data,
                              calibrator_data)
-    return TrainedPair(decision, calibrator, acc, err)
+    return TrainedPair(decision, calibrator, acc, err,
+                       decision_history, calibrator_history)
+
+
+def train_pair_replicas(spec: ArchitectureSpec, decision_data: SplitData,
+                        calibrator_data: SplitData, num_levels: int,
+                        config: TrainConfig | None = None,
+                        seeds: tuple[int, ...] = (0,),
+                        stats: CampaignStats | None = None
+                        ) -> list[TrainedPair]:
+    """Train ``spec`` at several init seeds in one fused population pass.
+
+    Replica ``i`` initialises its models exactly like
+    ``train_pair(spec, ..., seed=seeds[i])`` (one generator shared by
+    the Decision-maker then the Calibrator) and trains on the same
+    ``config.seed`` data split, so each returned pair matches its
+    serial counterpart to BLAS rounding — but all replicas share one
+    lockstep loop per head instead of ``len(seeds)`` scalar trainings.
+    """
+    if not seeds:
+        raise CompressionError("need at least one replica seed")
+    config = config or TrainConfig()
+    stats = stats if stats is not None else CampaignStats()
+    decision_models, calibrator_models = [], []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        decision_models.append(
+            MLP([decision_data.x_train.shape[1], *spec.decision_hidden,
+                 num_levels], rng=rng))
+        calibrator_models.append(
+            MLP([calibrator_data.x_train.shape[1], *spec.calibrator_hidden,
+                 1], rng=rng))
+    decision_pop = PopulationMLP.from_models(decision_models)
+    calibrator_pop = PopulationMLP.from_models(calibrator_models)
+    with stats.stage("population_train", tasks=2 * len(seeds)):
+        decision_histories = train_population_classifier(
+            decision_pop, decision_data.x_train, decision_data.y_train,
+            config)
+        calibrator_histories = train_population_regressor(
+            calibrator_pop, calibrator_data.x_train,
+            calibrator_data.y_train, config)
+    pairs = []
+    for index in range(len(seeds)):
+        decision = decision_pop.member(index)
+        calibrator = calibrator_pop.member(index)
+        acc, err = evaluate_pair(decision, calibrator, decision_data,
+                                 calibrator_data)
+        pairs.append(TrainedPair(decision, calibrator, acc, err,
+                                 decision_histories[index],
+                                 calibrator_histories[index]))
+    stats.count("train_models", 2 * len(seeds))
+    stats.count("train_epochs", sum(pair.epochs_run for pair in pairs))
+    return pairs
 
 
 def default_layerwise_grid() -> list[ArchitectureSpec]:
@@ -154,26 +238,202 @@ def default_layerwise_grid() -> list[ArchitectureSpec]:
     return specs
 
 
+# ---------------------------------------------------------------------------
+# Content-addressed sweep cache
+# ---------------------------------------------------------------------------
+
+def _hash_arrays(*arrays: np.ndarray) -> str:
+    digest = hashlib.sha256()
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.shape).encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def split_fingerprint(data: SplitData) -> str:
+    """Stable content hash of one head's train/test split."""
+    return _hash_arrays(np.asarray(data.x_train), np.asarray(data.y_train),
+                        np.asarray(data.x_test), np.asarray(data.y_test))
+
+
+def pair_fingerprint(pair: TrainedPair) -> str:
+    """Stable content hash of a trained pair's weights/biases/masks."""
+    arrays = []
+    for model in (pair.decision, pair.calibrator):
+        for layer in model.layers:
+            arrays.extend((layer.weights, layer.bias, layer.mask))
+    return _hash_arrays(*arrays)
+
+
+def sweep_cache_key(payload: dict) -> str:
+    """Content key of one sweep point (datagen cache scheme)."""
+    # Imported lazily: datagen.rfe imports this package, so a module-
+    # level import of datagen from here would be circular.
+    from ..datagen.cache import content_key
+    return content_key(payload)
+
+
+def _point_payload(point: CompressionPoint) -> dict:
+    payload = asdict(point)
+    payload["decision_sizes"] = list(point.decision_sizes)
+    payload["calibrator_sizes"] = list(point.calibrator_sizes)
+    return payload
+
+
+def _point_from_payload(payload: dict) -> CompressionPoint:
+    return CompressionPoint(
+        label=payload["label"],
+        method=payload["method"],
+        flops=int(payload["flops"]),
+        accuracy_pct=float(payload["accuracy_pct"]),
+        mape_pct=float(payload["mape_pct"]),
+        decision_sizes=tuple(payload["decision_sizes"]),
+        calibrator_sizes=tuple(payload["calibrator_sizes"]),
+        sparsity=float(payload["sparsity"]),
+    )
+
+
+def _load_cached_point(path: Path, counters: dict[str, int]
+                       ) -> dict | None:
+    """Read one cached sweep point; corrupt files are counted misses."""
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+        _point_from_payload(payload)  # validate before trusting it
+    except Exception:
+        logger.warning("corrupt sweep cache %s; retraining", path,
+                       exc_info=True)
+        counters["sweep_cache_corrupt"] = (
+            counters.get("sweep_cache_corrupt", 0) + 1)
+        return None
+    return payload
+
+
+def _store_cached_point(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp, path)
+
+
+# ---------------------------------------------------------------------------
+# Layer-wise sweep (campaign fan-out + cache)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _LayerwiseContext:
+    """Picklable shared state of one layer-wise campaign."""
+
+    decision_data: SplitData
+    calibrator_data: SplitData
+    num_levels: int
+    config: TrainConfig
+    seed: int
+    data_key: str
+    cache_dir: str | None
+    use_cache: bool
+
+
+def _layerwise_point_key(ctx: _LayerwiseContext, spec: ArchitectureSpec,
+                         seed: int) -> str:
+    return sweep_cache_key({
+        "kind": "layerwise",
+        "decision_hidden": list(spec.decision_hidden),
+        "calibrator_hidden": list(spec.calibrator_hidden),
+        "num_levels": ctx.num_levels,
+        "config": asdict(ctx.config),
+        "seed": seed,
+        "data": ctx.data_key,
+    })
+
+
+def _run_layerwise_task(ctx: _LayerwiseContext,
+                        task: tuple[int, ArchitectureSpec]
+                        ) -> tuple[dict, dict[str, int]]:
+    """Train (or load) one architecture grid point; runs in a worker."""
+    index, spec = task
+    counters: dict[str, int] = {}
+    path = None
+    if ctx.cache_dir is not None:
+        key = _layerwise_point_key(ctx, spec, ctx.seed + index)
+        path = Path(ctx.cache_dir) / f"sweep-{key}.json"
+        if ctx.use_cache:
+            payload = _load_cached_point(path, counters)
+            if payload is not None:
+                counters["sweep_cache_hit"] = 1
+                return payload, counters
+    counters["sweep_cache_miss"] = 1
+    pair = train_pair(spec, ctx.decision_data, ctx.calibrator_data,
+                      ctx.num_levels, ctx.config, seed=ctx.seed + index)
+    counters["train_models"] = 2
+    counters["train_epochs"] = pair.epochs_run
+    payload = _point_payload(CompressionPoint(
+        label=spec.label,
+        method="layerwise",
+        flops=pair.flops_dense,
+        accuracy_pct=pair.accuracy_pct,
+        mape_pct=pair.mape_pct,
+        decision_sizes=tuple(pair.decision.layer_sizes),
+        calibrator_sizes=tuple(pair.calibrator.layer_sizes),
+    ))
+    if path is not None:
+        _store_cached_point(path, payload)
+    return payload, counters
+
+
 def layer_wise_sweep(decision_data: SplitData, calibrator_data: SplitData,
                      num_levels: int,
                      specs: list[ArchitectureSpec] | None = None,
                      config: TrainConfig | None = None,
-                     seed: int = 0) -> list[CompressionPoint]:
-    """Train every architecture in the grid -> Fig. 3 layer-wise curve."""
+                     seed: int = 0, *,
+                     workers: int | None = None,
+                     stats: CampaignStats | None = None,
+                     cache_dir: str | Path | None = None,
+                     use_cache: bool = True, checkpoint: bool = False,
+                     retries: int = 2,
+                     timeout_s: float | None = None
+                     ) -> list[CompressionPoint]:
+    """Train every architecture in the grid -> Fig. 3 layer-wise curve.
+
+    Grid points fan out through :func:`repro.parallel.parallel_map`
+    (``workers``/``retries``/``timeout_s``/``checkpoint`` behave as in
+    the datagen campaigns) and are cached per point under ``cache_dir``
+    keyed on (spec, train config, seed, data fingerprint) — counters
+    ``sweep_cache_hit`` / ``sweep_cache_miss`` / ``sweep_cache_corrupt``
+    and ``train_models`` / ``train_epochs`` land in ``stats``.  Serial
+    uncached runs behave exactly like the original in-line loop.
+    """
     specs = specs or default_layerwise_grid()
+    config = config or TrainConfig()
+    stats = stats if stats is not None else CampaignStats()
+    data_key = (f"{split_fingerprint(decision_data)}-"
+                f"{split_fingerprint(calibrator_data)}")
+    ctx = _LayerwiseContext(
+        decision_data=decision_data, calibrator_data=calibrator_data,
+        num_levels=num_levels, config=config, seed=seed, data_key=data_key,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+        use_cache=use_cache)
+    ckpt = None
+    if checkpoint and cache_dir is not None:
+        campaign_key = sweep_cache_key({
+            "kind": "layerwise-campaign", "data": data_key, "seed": seed,
+            "config": asdict(config),
+            "specs": [spec.label for spec in specs]})
+        ckpt = CampaignCheckpoint(
+            Path(cache_dir) / f"sweep-layerwise-{campaign_key}.ckpt",
+            key=campaign_key)
+    outputs = parallel_map(partial(_run_layerwise_task, ctx),
+                           list(enumerate(specs)), workers=workers,
+                           stats=stats, stage="layerwise_sweep",
+                           retries=retries, timeout_s=timeout_s,
+                           checkpoint=ckpt)
     points = []
-    for index, spec in enumerate(specs):
-        pair = train_pair(spec, decision_data, calibrator_data, num_levels,
-                          config, seed=seed + index)
-        points.append(CompressionPoint(
-            label=spec.label,
-            method="layerwise",
-            flops=pair.flops_dense,
-            accuracy_pct=pair.accuracy_pct,
-            mape_pct=pair.mape_pct,
-            decision_sizes=tuple(pair.decision.layer_sizes),
-            calibrator_sizes=tuple(pair.calibrator.layer_sizes),
-        ))
+    for payload, counters in outputs:
+        stats.merge_counters(counters)
+        points.append(_point_from_payload(payload))
     return points
 
 
@@ -196,38 +456,130 @@ def prune_and_finetune(pair: TrainedPair, x1: float, x2: float,
     calibrator = pair.calibrator.clone()
     prune_model(decision, x1, x2)
     prune_model(calibrator, x1, x2)
-    train_classifier(decision, decision_data.x_train, decision_data.y_train,
-                     finetune_config)
-    train_regressor(calibrator, calibrator_data.x_train,
-                    calibrator_data.y_train, finetune_config)
+    decision_history = train_classifier(decision, decision_data.x_train,
+                                        decision_data.y_train,
+                                        finetune_config)
+    calibrator_history = train_regressor(calibrator, calibrator_data.x_train,
+                                         calibrator_data.y_train,
+                                         finetune_config)
     acc, err = evaluate_pair(decision, calibrator, decision_data,
                              calibrator_data)
-    return TrainedPair(decision, calibrator, acc, err)
+    return TrainedPair(decision, calibrator, acc, err,
+                       decision_history, calibrator_history)
+
+
+# ---------------------------------------------------------------------------
+# Pruning sweep (campaign fan-out + cache)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _PruningContext:
+    """Picklable shared state of one pruning campaign."""
+
+    pair: TrainedPair
+    decision_data: SplitData
+    calibrator_data: SplitData
+    finetune_config: TrainConfig
+    data_key: str
+    pair_key: str
+    cache_dir: str | None
+    use_cache: bool
+
+
+def _pruning_point_key(ctx: _PruningContext, x1: float, x2: float) -> str:
+    return sweep_cache_key({
+        "kind": "pruning",
+        "x1": x1,
+        "x2": x2,
+        "config": asdict(ctx.finetune_config),
+        "data": ctx.data_key,
+        "pair": ctx.pair_key,
+    })
+
+
+def _run_pruning_task(ctx: _PruningContext, task: tuple[float, float]
+                      ) -> tuple[dict, dict[str, int]]:
+    """Prune+fine-tune (or load) one grid point; runs in a worker."""
+    x1, x2 = task
+    counters: dict[str, int] = {}
+    path = None
+    if ctx.cache_dir is not None:
+        key = _pruning_point_key(ctx, x1, x2)
+        path = Path(ctx.cache_dir) / f"sweep-{key}.json"
+        if ctx.use_cache:
+            payload = _load_cached_point(path, counters)
+            if payload is not None:
+                counters["sweep_cache_hit"] = 1
+                return payload, counters
+    counters["sweep_cache_miss"] = 1
+    pruned = prune_and_finetune(ctx.pair, x1, x2, ctx.decision_data,
+                                ctx.calibrator_data, ctx.finetune_config)
+    counters["train_models"] = 2
+    counters["train_epochs"] = pruned.epochs_run
+    total_weights = (sum(l.weights.size for l in pruned.decision.layers)
+                     + sum(l.weights.size for l in pruned.calibrator.layers))
+    active = (pruned.decision.num_active_weights
+              + pruned.calibrator.num_active_weights)
+    payload = _point_payload(CompressionPoint(
+        label=f"x1={x1:.2f},x2={x2:.2f}",
+        method="pruning",
+        flops=pruned.flops_sparse,
+        accuracy_pct=pruned.accuracy_pct,
+        mape_pct=pruned.mape_pct,
+        decision_sizes=tuple(pruned.decision.layer_sizes),
+        calibrator_sizes=tuple(pruned.calibrator.layer_sizes),
+        sparsity=1.0 - active / total_weights,
+    ))
+    if path is not None:
+        _store_cached_point(path, payload)
+    return payload, counters
 
 
 def pruning_sweep(pair: TrainedPair, decision_data: SplitData,
                   calibrator_data: SplitData,
                   grid: list[tuple[float, float]] | None = None,
-                  finetune_config: TrainConfig | None = None
+                  finetune_config: TrainConfig | None = None, *,
+                  workers: int | None = None,
+                  stats: CampaignStats | None = None,
+                  cache_dir: str | Path | None = None,
+                  use_cache: bool = True, checkpoint: bool = False,
+                  retries: int = 2,
+                  timeout_s: float | None = None
                   ) -> list[CompressionPoint]:
-    """Prune+fine-tune across the grid -> Fig. 3 pruning curve."""
+    """Prune+fine-tune across the grid -> Fig. 3 pruning curve.
+
+    Fans out and caches like :func:`layer_wise_sweep`; pruning points
+    are additionally keyed on the base pair's weight fingerprint, so a
+    retrained base invalidates its cached pruning curve.
+    """
     grid = grid or default_pruning_grid()
+    finetune_config = finetune_config or TrainConfig(
+        epochs=40, patience=10, learning_rate=5e-4)
+    stats = stats if stats is not None else CampaignStats()
+    data_key = (f"{split_fingerprint(decision_data)}-"
+                f"{split_fingerprint(calibrator_data)}")
+    pair_key = pair_fingerprint(pair)
+    ctx = _PruningContext(
+        pair=pair, decision_data=decision_data,
+        calibrator_data=calibrator_data, finetune_config=finetune_config,
+        data_key=data_key, pair_key=pair_key,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+        use_cache=use_cache)
+    ckpt = None
+    if checkpoint and cache_dir is not None:
+        campaign_key = sweep_cache_key({
+            "kind": "pruning-campaign", "data": data_key, "pair": pair_key,
+            "config": asdict(finetune_config),
+            "grid": [[x1, x2] for x1, x2 in grid]})
+        ckpt = CampaignCheckpoint(
+            Path(cache_dir) / f"sweep-pruning-{campaign_key}.ckpt",
+            key=campaign_key)
+    outputs = parallel_map(partial(_run_pruning_task, ctx), list(grid),
+                           workers=workers, stats=stats,
+                           stage="pruning_sweep", retries=retries,
+                           timeout_s=timeout_s, checkpoint=ckpt)
     points = []
-    for x1, x2 in grid:
-        pruned = prune_and_finetune(pair, x1, x2, decision_data,
-                                    calibrator_data, finetune_config)
-        total_weights = (sum(l.weights.size for l in pruned.decision.layers)
-                         + sum(l.weights.size for l in pruned.calibrator.layers))
-        active = (pruned.decision.num_active_weights
-                  + pruned.calibrator.num_active_weights)
-        points.append(CompressionPoint(
-            label=f"x1={x1:.2f},x2={x2:.2f}",
-            method="pruning",
-            flops=pruned.flops_sparse,
-            accuracy_pct=pruned.accuracy_pct,
-            mape_pct=pruned.mape_pct,
-            decision_sizes=tuple(pruned.decision.layer_sizes),
-            calibrator_sizes=tuple(pruned.calibrator.layer_sizes),
-            sparsity=1.0 - active / total_weights,
-        ))
+    for payload, counters in outputs:
+        stats.merge_counters(counters)
+        points.append(_point_from_payload(payload))
     return points

@@ -1,0 +1,553 @@
+"""Batched population training: many same-shape MLPs in lockstep.
+
+The offline stage of the paper is dominated by *repeated* MLP training:
+RFE retrains the Decision-maker every elimination round, the Fig. 3
+compression study trains a whole architecture grid, and seed-replicated
+studies train the same spec many times.  Training those models one at a
+time wastes most of its wall-clock on per-call numpy dispatch — the
+matrices of a 20-neuron MLP are tiny, so a training step is overhead,
+not FLOPs.
+
+This module trains a *population* of P same-shape models as stacked
+3-D tensors: weights are ``(P, fan_in, fan_out)``, activations are
+``(P, batch, width)``, and every forward, backward and optimizer update
+is one batched ``np.matmul``/elementwise pass over the whole stack
+(numpy's matmul gufunc runs one BLAS GEMM per member slice, so each
+member's arithmetic is the very same GEMM the serial path would run).
+
+Determinism contract
+--------------------
+``fit_population`` mirrors :func:`repro.nn.trainer.fit` member by
+member: member ``p`` draws its validation split and per-epoch shuffles
+from ``np.random.default_rng(seeds[p])`` exactly as a serial ``fit``
+with ``config.seed = seeds[p]`` would, sees the same minibatches in the
+same order, applies the same Adam/SGD updates, and early-stops by the
+same per-member patience rule (a stopped member's best checkpoint is
+frozen; the stack keeps stepping until every member has stopped).
+Population results therefore match the serial path to BLAS rounding
+(well within 1e-6), and are bit-reproducible run-to-run for a fixed
+seed list.
+
+Members must share the layer shapes and the training hyper-parameters
+(``TrainConfig`` minus the seed); only initial weights, pruning masks
+and per-member seeds may differ.  Anything outside that contract —
+heterogeneous architectures, per-member epoch budgets — falls back to
+the serial trainer (see :func:`repro.nn.compress.train_pair_replicas`
+for the pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError, TrainingError
+from .layers import Dense
+from .mlp import MLP
+from .trainer import TrainConfig, TrainHistory
+
+
+class PopulationDense:
+    """A stack of P same-shape :class:`Dense` layers.
+
+    Weights are ``(P, fan_in, fan_out)``, biases ``(P, fan_out)`` and
+    the pruning masks ``(P, fan_in, fan_out)``; forward/backward run one
+    batched matmul over the stack.  Inputs broadcast: a ``(1, n, f)``
+    activation stack is shared by every member (the shared-dataset fast
+    path), a ``(P, n, f)`` stack carries per-member data.
+    """
+
+    def __init__(self, weights: np.ndarray, bias: np.ndarray,
+                 mask: np.ndarray, activation: str) -> None:
+        if weights.ndim != 3:
+            raise ModelError("population weights must be (P, fan_in, fan_out)")
+        if bias.shape != (weights.shape[0], weights.shape[2]):
+            raise ModelError("population bias must be (P, fan_out)")
+        if mask.shape != weights.shape:
+            raise ModelError("population mask must match the weight stack")
+        if activation not in ("relu", "linear"):
+            raise ModelError(f"unknown activation {activation!r}")
+        self.weights = weights
+        self.bias = bias
+        self.mask = mask
+        self.activation = activation
+        self.grad_weights = np.zeros_like(weights)
+        self.grad_bias = np.zeros_like(bias)
+        self._cache_input: np.ndarray | None = None
+        self._cache_preact: np.ndarray | None = None
+        self._eff_buffer: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def population(self) -> int:
+        """Number of stacked members."""
+        return self.weights.shape[0]
+
+    @property
+    def fan_in(self) -> int:
+        """Input width of every member."""
+        return self.weights.shape[1]
+
+    @property
+    def fan_out(self) -> int:
+        """Output width of every member."""
+        return self.weights.shape[2]
+
+    def _masked_weights(self) -> np.ndarray:
+        buffer = self._eff_buffer
+        if buffer is None or buffer.shape != self.weights.shape:
+            buffer = self._eff_buffer = np.empty_like(self.weights)
+        np.multiply(self.weights, self.mask, out=buffer)
+        return buffer
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Batched forward over ``x`` of shape (P or 1, n, fan_in)."""
+        if x.ndim != 3 or x.shape[2] != self.fan_in:
+            raise ModelError(
+                f"expected input (members, n, {self.fan_in}), got {x.shape}"
+            )
+        weights = self._masked_weights()
+        if train:
+            preact = np.matmul(x, weights) + self.bias[:, None, :]
+            self._cache_input = x
+            self._cache_preact = preact
+            if self.activation == "relu":
+                return np.maximum(preact, 0.0)
+            return preact
+        preact = np.matmul(x, weights)
+        preact += self.bias[:, None, :]
+        if self.activation == "relu":
+            np.maximum(preact, 0.0, out=preact)
+        return preact
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Batched backward; returns the gradient w.r.t. the inputs."""
+        if self._cache_input is None or self._cache_preact is None:
+            raise ModelError("backward called before forward(train=True)")
+        if self.activation == "relu":
+            grad_pre = grad_out * (self._cache_preact > 0.0)
+        else:
+            grad_pre = grad_out
+        self.grad_weights = np.matmul(
+            self._cache_input.transpose(0, 2, 1), grad_pre) * self.mask
+        self.grad_bias = grad_pre.sum(axis=1)
+        return np.matmul(grad_pre, self._masked_weights().transpose(0, 2, 1))
+
+    def apply_mask(self) -> None:
+        """Re-zero masked weights across the whole stack."""
+        self.weights *= self.mask
+
+
+class PopulationMLP:
+    """A population of same-shape MLPs trained in lockstep."""
+
+    def __init__(self, layers: list[PopulationDense]) -> None:
+        if not layers:
+            raise ModelError("population needs at least one layer")
+        self.layers = layers
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_models(cls, models: list[MLP]) -> "PopulationMLP":
+        """Stack existing models (weights/biases/masks are copied)."""
+        if not models:
+            raise ModelError("population needs at least one member")
+        sizes = models[0].layer_sizes
+        for model in models[1:]:
+            if model.layer_sizes != sizes:
+                raise ModelError(
+                    "population members must share layer sizes: "
+                    f"{sizes} vs {model.layer_sizes}"
+                )
+        layers = []
+        for index in range(len(models[0].layers)):
+            member_layers = [model.layers[index] for model in models]
+            activation = member_layers[0].activation
+            if any(l.activation != activation for l in member_layers):
+                raise ModelError("population members must share activations")
+            layers.append(PopulationDense(
+                np.stack([l.weights for l in member_layers]),
+                np.stack([l.bias for l in member_layers]),
+                np.stack([l.mask for l in member_layers]),
+                activation,
+            ))
+        return cls(layers)
+
+    @classmethod
+    def replicate(cls, layer_sizes: list[int],
+                  seeds: list[int]) -> "PopulationMLP":
+        """Stack fresh members, each initialised exactly like
+        ``MLP(layer_sizes, rng=np.random.default_rng(seed))``."""
+        if not seeds:
+            raise ModelError("population needs at least one seed")
+        return cls.from_models(
+            [MLP(layer_sizes, rng=np.random.default_rng(seed))
+             for seed in seeds])
+
+    # ------------------------------------------------------------------
+    @property
+    def population(self) -> int:
+        """Number of members."""
+        return self.layers[0].population
+
+    @property
+    def input_size(self) -> int:
+        """Expected feature-vector width."""
+        return self.layers[0].fan_in
+
+    @property
+    def output_size(self) -> int:
+        """Output width (classes or regression targets)."""
+        return self.layers[-1].fan_out
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Run the stack on (n, f) shared or (P, n, f) per-member input."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 2:
+            x = x[None, :, :]
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate the stacked loss gradient."""
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def predict_class(self, x: np.ndarray) -> np.ndarray:
+        """(P, n) argmax class predictions."""
+        return np.argmax(self.forward(x), axis=2)
+
+    def apply_masks(self) -> None:
+        """Re-zero all masked weights (after optimizer steps)."""
+        for layer in self.layers:
+            layer.apply_mask()
+
+    # ------------------------------------------------------------------
+    def member(self, index: int) -> MLP:
+        """Extract one member as a standalone :class:`MLP` (copies)."""
+        if not 0 <= index < self.population:
+            raise ModelError(f"no member {index} in a population of "
+                             f"{self.population}")
+        model = MLP.__new__(MLP)
+        model.layers = []
+        for layer in self.layers:
+            dense = Dense.__new__(Dense)
+            dense.weights = layer.weights[index].copy()
+            dense.bias = layer.bias[index].copy()
+            dense.mask = layer.mask[index].copy()
+            dense.activation = layer.activation
+            dense.grad_weights = np.zeros_like(dense.weights)
+            dense.grad_bias = np.zeros_like(dense.bias)
+            dense._cache_input = None
+            dense._cache_preact = None
+            dense._eff_buffer = None
+            model.layers.append(dense)
+        return model
+
+    def members(self) -> list[MLP]:
+        """All members as standalone models."""
+        return [self.member(index) for index in range(self.population)]
+
+
+# ---------------------------------------------------------------------------
+# Stacked optimizers
+# ---------------------------------------------------------------------------
+
+class PopulationSGD:
+    """Momentum SGD over the whole stack in one fused update."""
+
+    def __init__(self, population: PopulationMLP, learning_rate: float = 1e-2,
+                 momentum: float = 0.9) -> None:
+        if learning_rate <= 0:
+            raise TrainingError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError("momentum must be in [0, 1)")
+        self.population = population
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity = [
+            (np.zeros_like(layer.weights), np.zeros_like(layer.bias))
+            for layer in population.layers
+        ]
+
+    def step(self) -> None:
+        """Apply one update from the gradients on the stacked layers."""
+        for layer, (vel_w, vel_b) in zip(self.population.layers,
+                                         self._velocity):
+            vel_w *= self.momentum
+            vel_w -= self.learning_rate * layer.grad_weights
+            vel_b *= self.momentum
+            vel_b -= self.learning_rate * layer.grad_bias
+            layer.weights += vel_w
+            layer.bias += vel_b
+        self.population.apply_masks()
+
+
+class PopulationAdam:
+    """Adam over the whole stack in one fused update."""
+
+    def __init__(self, population: PopulationMLP, learning_rate: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 epsilon: float = 1e-8) -> None:
+        if learning_rate <= 0:
+            raise TrainingError("learning rate must be positive")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise TrainingError("betas must be in [0, 1)")
+        self.population = population
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._t = 0
+        self._moments = [
+            (np.zeros_like(layer.weights), np.zeros_like(layer.weights),
+             np.zeros_like(layer.bias), np.zeros_like(layer.bias))
+            for layer in population.layers
+        ]
+
+    def step(self) -> None:
+        """Apply one Adam update from the gradients on the stack."""
+        self._t += 1
+        correction1 = 1.0 - self.beta1 ** self._t
+        correction2 = 1.0 - self.beta2 ** self._t
+        scale = self.learning_rate * np.sqrt(correction2) / correction1
+        for layer, (m_w, v_w, m_b, v_b) in zip(self.population.layers,
+                                               self._moments):
+            m_w *= self.beta1
+            m_w += (1.0 - self.beta1) * layer.grad_weights
+            v_w *= self.beta2
+            v_w += (1.0 - self.beta2) * layer.grad_weights ** 2
+            layer.weights -= scale * m_w / (np.sqrt(v_w) + self.epsilon)
+            m_b *= self.beta1
+            m_b += (1.0 - self.beta1) * layer.grad_bias
+            v_b *= self.beta2
+            v_b += (1.0 - self.beta2) * layer.grad_bias ** 2
+            layer.bias -= scale * m_b / (np.sqrt(v_b) + self.epsilon)
+        self.population.apply_masks()
+
+
+# ---------------------------------------------------------------------------
+# Stacked losses (value per member + gradient)
+# ---------------------------------------------------------------------------
+
+def _population_softmax_xent(logits: np.ndarray, labels: np.ndarray
+                             ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-member cross-entropy over (P, n, classes) logits."""
+    n = logits.shape[1]
+    shifted = logits - logits.max(axis=2, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=2, keepdims=True)
+    members = np.arange(logits.shape[0])[:, None]
+    rows = np.arange(n)[None, :]
+    picked = probs[members, rows, labels]
+    losses = -np.log(np.clip(picked, 1e-12, None)).mean(axis=1)
+    grad = probs
+    grad[members, rows, labels] -= 1.0
+    grad /= n
+    return losses, grad
+
+
+def _population_mse(predictions: np.ndarray, targets: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-member MSE over (P, n, outputs) predictions."""
+    diff = predictions - targets
+    losses = (diff ** 2).mean(axis=(1, 2))
+    grad = 2.0 * diff / (diff.shape[1] * diff.shape[2])
+    return losses, grad
+
+
+def _clip_population_gradients(population: PopulationMLP,
+                               max_norm: float) -> None:
+    """Per-member analogue of the serial global-norm gradient clip."""
+    total = np.zeros(population.population)
+    for layer in population.layers:
+        total += (layer.grad_weights ** 2).sum(axis=(1, 2))
+        total += (layer.grad_bias ** 2).sum(axis=1)
+    norm = np.sqrt(total)
+    needs = (norm > max_norm) & (norm > 0)
+    if not needs.any():
+        return
+    scale = np.where(needs, max_norm / np.maximum(norm, 1e-300), 1.0)
+    for layer in population.layers:
+        layer.grad_weights *= scale[:, None, None]
+        layer.grad_bias *= scale[:, None]
+
+
+# ---------------------------------------------------------------------------
+# Lockstep training loop
+# ---------------------------------------------------------------------------
+
+def _make_optimizer(population: PopulationMLP, config: TrainConfig):
+    if config.optimizer == "adam":
+        return PopulationAdam(population, learning_rate=config.learning_rate)
+    return PopulationSGD(population, learning_rate=config.learning_rate,
+                         momentum=config.momentum)
+
+
+def fit_population(population: PopulationMLP, features: np.ndarray,
+                   targets: np.ndarray, loss: str,
+                   config: TrainConfig | None = None,
+                   seeds: list[int] | None = None) -> list[TrainHistory]:
+    """Train every member in lockstep; returns one history per member.
+
+    ``loss`` is ``"classifier"`` (softmax cross-entropy over integer
+    labels) or ``"regressor"`` (MSE over float targets).  ``seeds``
+    optionally gives each member its own data seed — member ``p``
+    splits and shuffles exactly like a serial ``fit`` with
+    ``config.seed = seeds[p]``; by default every member uses
+    ``config.seed``, which collapses the per-member data stacks into a
+    single shared (broadcast) copy.  Members are restored to their
+    best-validation checkpoints before returning, like the serial loop.
+    """
+    config = config or TrainConfig()
+    if loss not in ("classifier", "regressor"):
+        raise TrainingError(f"unknown population loss {loss!r}")
+    members = population.population
+    if seeds is None:
+        seeds = [config.seed] * members
+    if len(seeds) != members:
+        raise TrainingError(
+            f"{members} members but {len(seeds)} seeds")
+    features = np.asarray(features, dtype=np.float64)
+    if loss == "classifier":
+        targets = np.asarray(targets, dtype=np.int64)
+        loss_fn = _population_softmax_xent
+    else:
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.ndim == 1:
+            targets = targets[:, None]
+        loss_fn = _population_mse
+    if features.ndim != 2:
+        raise TrainingError("features must be 2-D (samples, width)")
+    if features.shape[0] != targets.shape[0]:
+        raise TrainingError("features/targets row-count mismatch")
+    if features.shape[0] < 2:
+        raise TrainingError("need at least two samples to train")
+    if features.shape[1] != population.input_size:
+        raise TrainingError(
+            f"population expects width {population.input_size}, data has "
+            f"{features.shape[1]}"
+        )
+
+    # Shared-data fast path: identical seeds mean identical splits and
+    # shuffles, so one broadcast copy serves the whole stack.
+    shared = len(set(seeds)) == 1
+    stack = 1 if shared else members
+    rngs = [np.random.default_rng(seed)
+            for seed in (seeds[:1] if shared else seeds)]
+    n_total = features.shape[0]
+    n_val = int(n_total * config.validation_fraction)
+    x_train = None
+    for index, rng in enumerate(rngs):
+        order = rng.permutation(n_total)
+        val_idx, train_idx = order[:n_val], order[n_val:]
+        if train_idx.size == 0:
+            raise TrainingError("validation split leaves no training data")
+        if x_train is None:
+            n_train = train_idx.size
+            x_train = np.empty((stack, n_train) + features.shape[1:])
+            y_train = np.empty((stack, n_train) + targets.shape[1:],
+                               dtype=targets.dtype)
+            x_val = np.empty((stack, n_val) + features.shape[1:])
+            y_val = np.empty((stack, n_val) + targets.shape[1:],
+                             dtype=targets.dtype)
+        x_train[index] = features[train_idx]
+        y_train[index] = targets[train_idx]
+        x_val[index] = features[val_idx]
+        y_val[index] = targets[val_idx]
+
+    optimizer = _make_optimizer(population, config)
+    histories = [TrainHistory() for _ in range(members)]
+    best_loss = np.full(members, np.inf)
+    best_layers: list[list[tuple] | None] = [None] * members
+    since_best = np.zeros(members, dtype=np.int64)
+    active = np.ones(members, dtype=bool)
+    x_buf = np.empty_like(x_train)
+    y_buf = np.empty_like(y_train)
+    n_train = x_train.shape[1]
+
+    for epoch in range(config.epochs):
+        if config.lr_step and epoch and epoch % config.lr_step == 0:
+            optimizer.learning_rate *= config.lr_decay
+        for index, rng in enumerate(rngs):
+            perm = rng.permutation(n_train)
+            np.take(x_train[index], perm, axis=0, out=x_buf[index])
+            np.take(y_train[index], perm, axis=0, out=y_buf[index])
+        epoch_losses = np.zeros(members)
+        batches = 0
+        for start in range(0, n_train, config.batch_size):
+            stop = start + config.batch_size
+            outputs = population.forward(x_buf[:, start:stop], train=True)
+            labels = y_buf[:, start:stop]
+            losses, grad = loss_fn(outputs, labels)
+            population.backward(grad)
+            if config.weight_decay > 0:
+                for layer in population.layers:
+                    layer.grad_weights += config.weight_decay * layer.weights
+            if config.gradient_clip > 0:
+                _clip_population_gradients(population, config.gradient_clip)
+            optimizer.step()
+            epoch_losses += losses
+            batches += 1
+        train_losses = epoch_losses / max(1, batches)
+
+        if n_val > 0:
+            val_out = population.forward(x_val)
+            val_losses, _ = loss_fn(val_out, y_val)
+        else:
+            val_losses = train_losses
+        for index in range(members):
+            if not active[index]:
+                continue
+            history = histories[index]
+            history.train_losses.append(float(train_losses[index]))
+            history.val_losses.append(float(val_losses[index]))
+            if val_losses[index] < best_loss[index] - config.min_delta:
+                best_loss[index] = val_losses[index]
+                best_layers[index] = [
+                    (layer.weights[index].copy(), layer.bias[index].copy(),
+                     layer.mask[index].copy())
+                    for layer in population.layers
+                ]
+                history.best_epoch = epoch
+                since_best[index] = 0
+            else:
+                since_best[index] += 1
+                if since_best[index] >= config.patience:
+                    history.stopped_early = True
+                    active[index] = False
+        if not active.any():
+            break
+
+    for index in range(members):
+        snapshot = best_layers[index]
+        if snapshot is None:
+            continue
+        for layer, (weights, bias, mask) in zip(population.layers, snapshot):
+            layer.weights[index] = weights
+            layer.bias[index] = bias
+            layer.mask[index] = mask
+    return histories
+
+
+def train_population_classifier(population: PopulationMLP,
+                                features: np.ndarray, labels: np.ndarray,
+                                config: TrainConfig | None = None,
+                                seeds: list[int] | None = None
+                                ) -> list[TrainHistory]:
+    """Train a population of softmax classifier heads in lockstep."""
+    return fit_population(population, features, labels, "classifier",
+                          config, seeds)
+
+
+def train_population_regressor(population: PopulationMLP,
+                               features: np.ndarray, targets: np.ndarray,
+                               config: TrainConfig | None = None,
+                               seeds: list[int] | None = None
+                               ) -> list[TrainHistory]:
+    """Train a population of MSE regressor heads in lockstep."""
+    return fit_population(population, features, targets, "regressor",
+                          config, seeds)

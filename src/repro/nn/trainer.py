@@ -96,6 +96,24 @@ def _clip_gradients(model: MLP, max_norm: float) -> None:
             layer.grad_bias *= scale
 
 
+def _forward_into(model: MLP, x: np.ndarray,
+                  buffers: list[np.ndarray]) -> np.ndarray:
+    """Inference forward writing each layer's output into ``buffers``.
+
+    Runs the exact inference-path ops of :meth:`Dense.forward`
+    (masked-weight matmul, in-place bias add, in-place relu) with
+    preallocated destinations, so the repeated validation pass of the
+    training loop stops allocating fresh activation arrays every epoch.
+    """
+    for layer, buffer in zip(model.layers, buffers):
+        np.matmul(x, layer._masked_weights(), out=buffer)
+        buffer += layer.bias
+        if layer.activation == "relu":
+            np.maximum(buffer, 0.0, out=buffer)
+        x = buffer
+    return x
+
+
 def fit(model: MLP, features: np.ndarray, targets: np.ndarray, loss_fn,
         config: TrainConfig | None = None) -> TrainHistory:
     """Train ``model`` in place; returns the training history.
@@ -133,17 +151,26 @@ def fit(model: MLP, features: np.ndarray, targets: np.ndarray, loss_fn,
     best_loss = np.inf
     best_layers = None
     since_best = 0
+    # Per-epoch shuffle lands in reused buffers, so minibatches are
+    # contiguous slices instead of a fresh fancy-indexed copy per batch;
+    # the validation pass likewise reuses its activation buffers.
+    x_shuffled = np.empty_like(x_train)
+    y_shuffled = np.empty_like(y_train)
+    val_buffers = ([np.empty((x_val.shape[0], layer.fan_out))
+                    for layer in model.layers] if n_val > 0 else [])
 
     for epoch in range(config.epochs):
         if config.lr_step and epoch and epoch % config.lr_step == 0:
             optimizer.learning_rate *= config.lr_decay
         perm = rng.permutation(x_train.shape[0])
+        np.take(x_train, perm, axis=0, out=x_shuffled)
+        np.take(y_train, perm, axis=0, out=y_shuffled)
         epoch_loss = 0.0
         batches = 0
         for start in range(0, x_train.shape[0], config.batch_size):
-            batch = perm[start:start + config.batch_size]
-            outputs = model.forward(x_train[batch], train=True)
-            loss, grad = loss_fn(outputs, y_train[batch])
+            stop = start + config.batch_size
+            outputs = model.forward(x_shuffled[start:stop], train=True)
+            loss, grad = loss_fn(outputs, y_shuffled[start:stop])
             model.backward(grad)
             if config.weight_decay > 0:
                 for layer in model.layers:
@@ -156,7 +183,7 @@ def fit(model: MLP, features: np.ndarray, targets: np.ndarray, loss_fn,
         history.train_losses.append(epoch_loss / max(1, batches))
 
         if n_val > 0:
-            val_out = model.forward(x_val)
+            val_out = _forward_into(model, x_val, val_buffers)
             val_loss, _ = loss_fn(val_out, y_val)
         else:
             val_loss = history.train_losses[-1]

@@ -1,0 +1,166 @@
+"""Population training engine: lockstep batches vs the serial trainer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, TrainingError
+from repro.nn.compress import (ArchitectureSpec, SplitData, train_pair,
+                               train_pair_replicas)
+from repro.nn.mlp import MLP
+from repro.nn.metrics import accuracy
+from repro.nn.population import (PopulationMLP, fit_population,
+                                 train_population_classifier,
+                                 train_population_regressor)
+from repro.nn.trainer import TrainConfig, train_classifier, train_regressor
+from repro.parallel import CampaignStats
+
+
+def _classification_data(n=96, width=5, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, width))
+    y = (x.sum(axis=1) > 0).astype(np.int64) + rng.integers(
+        0, classes - 1, size=n)
+    return x, np.clip(y, 0, classes - 1)
+
+
+def _regression_data(n=96, width=5, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, width))
+    y = x @ rng.normal(size=width) + 0.1 * rng.normal(size=n)
+    return x, y
+
+
+def _serial_histories(layer_sizes, seeds, x, y, config, trainer):
+    models, histories = [], []
+    for seed in seeds:
+        model = MLP(layer_sizes, rng=np.random.default_rng(seed))
+        histories.append(trainer(model, x, y, config))
+        models.append(model)
+    return models, histories
+
+
+def _assert_matches_serial(population, histories, models, serial_histories):
+    for index, (history, serial) in enumerate(zip(histories,
+                                                  serial_histories)):
+        np.testing.assert_allclose(history.train_losses,
+                                   serial.train_losses, atol=1e-9)
+        np.testing.assert_allclose(history.val_losses, serial.val_losses,
+                                   atol=1e-9)
+        assert history.best_epoch == serial.best_epoch
+        assert history.stopped_early == serial.stopped_early
+        assert history.epochs_run == serial.epochs_run
+        member = population.member(index)
+        for got, want in zip(member.layers, models[index].layers):
+            np.testing.assert_allclose(got.weights, want.weights, atol=1e-9)
+            np.testing.assert_allclose(got.bias, want.bias, atol=1e-9)
+
+
+def test_classifier_matches_serial_shared_data():
+    """Same config.seed for every member -> shared-split fast path."""
+    x, y = _classification_data()
+    seeds = [10, 11, 12, 13]
+    config = TrainConfig(epochs=25, patience=5, learning_rate=3e-3, seed=7)
+    layer_sizes = [x.shape[1], 16, 16, 4]
+    population = PopulationMLP.replicate(layer_sizes, seeds)
+    histories = train_population_classifier(population, x, y, config)
+    models, serial = _serial_histories(layer_sizes, seeds, x, y, config,
+                                       train_classifier)
+    _assert_matches_serial(population, histories, models, serial)
+    for index, model in enumerate(models):
+        pop_acc = accuracy(population.member(index).predict_class(x), y)
+        serial_acc = accuracy(model.predict_class(x), y)
+        assert abs(pop_acc - serial_acc) <= 1e-6
+
+
+def test_regressor_matches_serial_per_member_seeds():
+    """Distinct data seeds exercise the stacked per-member split path,
+    plus SGD + weight decay + gradient clipping + the lr schedule."""
+    x, y = _regression_data()
+    seeds = [3, 4, 5]
+    config = TrainConfig(epochs=18, patience=4, learning_rate=5e-3,
+                         optimizer="sgd", weight_decay=1e-4,
+                         gradient_clip=1.0, lr_decay=0.5, lr_step=5)
+    layer_sizes = [x.shape[1], 12, 1]
+    population = PopulationMLP.replicate(layer_sizes, seeds)
+    histories = train_population_regressor(population, x, y, config,
+                                           seeds=seeds)
+    models, serial = [], []
+    for seed in seeds:
+        model = MLP(layer_sizes, rng=np.random.default_rng(seed))
+        member_config = TrainConfig(
+            epochs=config.epochs, patience=config.patience,
+            learning_rate=config.learning_rate, optimizer="sgd",
+            weight_decay=config.weight_decay,
+            gradient_clip=config.gradient_clip, lr_decay=config.lr_decay,
+            lr_step=config.lr_step, seed=seed)
+        serial.append(train_regressor(model, x, y, member_config))
+        models.append(model)
+    _assert_matches_serial(population, histories, models, serial)
+
+
+def test_reproducible_run_to_run():
+    x, y = _classification_data()
+    config = TrainConfig(epochs=10, patience=3, seed=1)
+
+    def run():
+        population = PopulationMLP.replicate([x.shape[1], 8, 4], [5, 6])
+        train_population_classifier(population, x, y, config)
+        return [layer.weights.copy() for layer in population.layers]
+
+    first, second = run(), run()
+    for a, b in zip(first, second):
+        assert np.array_equal(a, b)
+
+
+def test_member_extraction_is_standalone():
+    population = PopulationMLP.replicate([5, 8, 3], [0, 1])
+    member = population.member(0)
+    original = member.layers[0].weights.copy()
+    population.layers[0].weights[0] += 1.0
+    assert np.array_equal(member.layers[0].weights, original)
+    assert member.layer_sizes == [5, 8, 3]
+    assert len(population.members()) == 2
+
+
+def test_from_models_rejects_shape_mismatch():
+    a = MLP([5, 8, 3], rng=np.random.default_rng(0))
+    b = MLP([5, 6, 3], rng=np.random.default_rng(1))
+    with pytest.raises(ModelError):
+        PopulationMLP.from_models([a, b])
+    with pytest.raises(ModelError):
+        PopulationMLP.from_models([])
+
+
+def test_fit_population_validation():
+    population = PopulationMLP.replicate([5, 8, 3], [0, 1])
+    x, y = _classification_data(width=5)
+    with pytest.raises(TrainingError):
+        fit_population(population, x, y, "nonsense")
+    with pytest.raises(TrainingError):
+        fit_population(population, x, y, "classifier", seeds=[1, 2, 3])
+    with pytest.raises(TrainingError):
+        fit_population(population, x[:, :4], y, "classifier")
+    with pytest.raises(TrainingError):
+        fit_population(population, x[:1], y[:1], "classifier")
+
+
+def test_train_pair_replicas_matches_serial_train_pair():
+    xd, yd = _classification_data(seed=2)
+    xr, yr = _regression_data(seed=3)
+    decision_data = SplitData(xd[:72], yd[:72], xd[72:], yd[72:])
+    calibrator_data = SplitData(xr[:72], yr[:72], xr[72:], yr[72:])
+    spec = ArchitectureSpec((10, 10), (8,))
+    config = TrainConfig(epochs=15, patience=4, seed=9)
+    stats = CampaignStats()
+    replicas = train_pair_replicas(spec, decision_data, calibrator_data,
+                                   num_levels=4, config=config,
+                                   seeds=(20, 21, 22), stats=stats)
+    assert len(replicas) == 3
+    assert stats.counters["train_models"] == 6
+    assert stats.counters["train_epochs"] > 0
+    for seed, replica in zip((20, 21, 22), replicas):
+        serial = train_pair(spec, decision_data, calibrator_data,
+                            num_levels=4, config=config, seed=seed)
+        assert abs(replica.accuracy_pct - serial.accuracy_pct) <= 1e-6
+        assert abs(replica.mape_pct - serial.mape_pct) <= 1e-6
+        assert replica.epochs_run == serial.epochs_run

@@ -1,11 +1,17 @@
 """Recursive feature elimination (Table I machinery)."""
 
+import numpy as np
 import pytest
 
 from repro.errors import DatasetError
-from repro.datagen.rfe import RFESelector
+from repro.datagen.rfe import (ImportanceWorkspace, RFESelector,
+                               _permutation_importance,
+                               permutation_importances)
 from repro.gpu.counters import paper_category
+from repro.nn.mlp import MLP
+from repro.nn.metrics import accuracy
 from repro.nn.trainer import TrainConfig
+from repro.parallel import CampaignStats
 
 
 @pytest.fixture(scope="module")
@@ -79,3 +85,123 @@ def test_validation():
         # Bad drop fraction.
         RFESelector(Dummy(), 4.0, candidates=("ipc", "frac_mem"),
                     target_count=1, drop_fraction=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Batched importance scoring vs the serial loop
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def scoring_setup():
+    rng = np.random.default_rng(0)
+    rows, width, classes = 64, 13, 6
+    x = rng.normal(size=(rows, width))
+    y = rng.integers(0, classes, size=rows)
+    model = MLP([width, 20, 20, classes], rng=np.random.default_rng(1))
+    return model, x, y
+
+
+def test_batched_importances_match_serial(scoring_setup):
+    model, x, y = scoring_setup
+    columns = list(range(1, 13))
+    serial_rng = np.random.default_rng(9)
+    serial = np.array([
+        _permutation_importance(model, x, y, column, serial_rng)
+        for column in columns
+    ])
+    batched = permutation_importances(model, x, y, columns,
+                                      np.random.default_rng(9))
+    np.testing.assert_array_equal(batched, serial)
+
+
+def test_batched_consumes_identical_rng_stream(scoring_setup):
+    """Both paths must leave the generator in the same state, so mixed
+    batched/serial rounds stay on one reproducible stream."""
+    model, x, y = scoring_setup
+    columns = list(range(1, 13))
+    serial_rng = np.random.default_rng(9)
+    for column in columns:
+        _permutation_importance(model, x, y, column, serial_rng)
+    batched_rng = np.random.default_rng(9)
+    permutation_importances(model, x, y, columns, batched_rng)
+    assert np.array_equal(serial_rng.integers(0, 1 << 30, 16),
+                          batched_rng.integers(0, 1 << 30, 16))
+
+
+def test_batched_importances_reuse_workspace(scoring_setup):
+    model, x, y = scoring_setup
+    columns = list(range(1, 13))
+    workspace = ImportanceWorkspace()
+    first = permutation_importances(model, x, y, columns,
+                                    np.random.default_rng(9),
+                                    workspace=workspace)
+    second = permutation_importances(model, x, y, columns,
+                                     np.random.default_rng(9),
+                                     workspace=workspace)
+    np.testing.assert_array_equal(first, second)
+
+
+def test_batched_importances_chunking_invariant(scoring_setup):
+    """Splitting the stack into chunks must not change any score."""
+    model, x, y = scoring_setup
+    columns = list(range(1, 13))
+    full = permutation_importances(model, x, y, columns,
+                                   np.random.default_rng(9))
+    chunked = permutation_importances(model, x, y, columns,
+                                      np.random.default_rng(9),
+                                      row_budget=x.shape[0] * 2)
+    np.testing.assert_array_equal(full, chunked)
+
+
+def test_batched_importances_validation(scoring_setup):
+    model, x, y = scoring_setup
+    rng = np.random.default_rng(0)
+    with pytest.raises(DatasetError):
+        permutation_importances(model, x, y, [], rng)
+    with pytest.raises(DatasetError):
+        permutation_importances(model, x, y, [x.shape[1]], rng)
+    with pytest.raises(DatasetError):
+        permutation_importances(model, x[:, 0], y, [0], rng)
+
+
+def test_serial_base_argument_matches_recompute(scoring_setup):
+    model, x, y = scoring_setup
+    base = accuracy(model.predict_class(x), y)
+    with_base = _permutation_importance(model, x, y, 2,
+                                        np.random.default_rng(4), base=base)
+    without = _permutation_importance(model, x, y, 2,
+                                      np.random.default_rng(4))
+    assert with_base == without
+
+
+def test_selector_batched_and_serial_agree(small_dataset, small_arch):
+    """End to end: both scoring paths pick the same features with the
+    same importances, and the counters land in stats."""
+    candidates = ("ipc", "inst_total", "frac_mem", "occupancy",
+                  "stall_control", "l1_read_miss")
+    config = TrainConfig(epochs=12, patience=4, learning_rate=3e-3, seed=5)
+
+    def run(batched):
+        stats = CampaignStats()
+        result = RFESelector(
+            small_dataset, small_arch.issue_width, candidates=candidates,
+            target_count=3, seed=5, train_config=config,
+            batched=batched, stats=stats).run()
+        return result, stats
+
+    batched_result, batched_stats = run(True)
+    serial_result, serial_stats = run(False)
+    assert batched_result.selected == serial_result.selected
+    assert len(batched_result.rounds) == len(serial_result.rounds)
+    for b_round, s_round in zip(batched_result.rounds, serial_result.rounds):
+        assert b_round.eliminated == s_round.eliminated
+        assert b_round.importances.keys() == s_round.importances.keys()
+        for name, value in b_round.importances.items():
+            assert value == pytest.approx(s_round.importances[name],
+                                          abs=1e-12)
+    for stats in (batched_stats, serial_stats):
+        assert stats.counter("rfe_rounds") == len(batched_result.rounds)
+        assert stats.counter("train_models") == len(batched_result.rounds)
+        assert stats.counter("train_epochs") > 0
+        assert stats.counter("rfe_columns_scored") == sum(
+            len(r.features) for r in batched_result.rounds)
