@@ -16,7 +16,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast test-slow bench-smoke train-bench-smoke bench \
-	faults-smoke
+	faults-smoke soak-smoke
 
 test-fast:
 	$(PYTHON) -m pytest -q -m "not slow"
@@ -28,6 +28,17 @@ faults-smoke:
 	$(PYTHON) -m repro.cli faults --small --mode all --rates 0 1.0 \
 		--kernels 1 --duration-us 60 --stats
 	$(PYTHON) -m pytest -q tests/test_faults.py tests/test_parallel.py
+
+# Chaos-soak smoke: self-trains a small pair through the dataset cache,
+# registers it as last-known-good, then soaks it under 1% sensor faults
+# with a mid-run stale-model injection and crash-write torture.  The
+# CLI exits non-zero on any invariant violation (NaN decision, latency
+# over preset+slack, unhealed drift, torn read), which fails the job.
+# Deliberately outside the tier-1 `test-fast` gate.
+soak-smoke:
+	$(PYTHON) -m repro.cli soak --small --breakpoints 4 --kernels 2 \
+		--cache .cache --store .cache/store --stats \
+		--export benchmarks/results/SOAK_smoke.json
 
 test:
 	$(PYTHON) -m pytest -q

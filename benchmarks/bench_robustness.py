@@ -75,3 +75,42 @@ def test_counter_noise_robustness(pipeline, eval_kernels, arch, benchmark):
     controller.reset(simulator)
     record = simulator.step_epoch()
     benchmark(lambda: controller._perturb(record.counters))
+
+
+def test_chaos_soak_gate(pipeline, arch, tmp_path, benchmark):
+    """Full-scale chaos soak: detect, heal, and stay within the preset.
+
+    The paper-scale pruned pair is registered as last-known-good, then
+    driven through sensor faults, a mid-run stale-model injection and
+    crash-write torture.  Fault rates are scaled to the 24-cluster
+    architecture (the per-cluster/per-counter knobs compound with
+    cluster count) so the epoch-level anomaly pressure matches the
+    small-arch soak.  Any invariant violation fails the gate; the JSON
+    payload lands in results/ for the report.
+    """
+    from repro.evaluation.soak import SOAK_ARTIFACT, SoakConfig, run_soak
+    from repro.faults import FaultConfig
+    from repro.store import ArtifactStore
+    from repro.workloads.suites import (scale_kernel_to_duration,
+                                        training_suite)
+    from _reporting import RESULTS_DIR, write_result
+
+    model = pipeline.model("pruned")
+    kernels = [scale_kernel_to_duration(kernel, arch, 1000e-6)
+               for kernel in training_suite()[:2]]
+    config = SoakConfig(
+        seed=17,
+        faults=FaultConfig(counter_dropout=1e-3, counter_nan=5e-5,
+                           counter_spike=5e-5),
+        crash_write_trials=16,
+    )
+    result = run_soak(model, kernels, arch, tmp_path / "store", config)
+    write_result("robustness_soak", result.render())
+    result.export_json(RESULTS_DIR / "BENCH_robustness_soak.json")
+    assert result.passed, result.violations
+    for record in result.records:
+        assert record.healed_by == "hot_swap"
+
+    # Benchmark: one verified read of the pair from the registry.
+    store = ArtifactStore(tmp_path / "store")
+    benchmark(lambda: store.get(SOAK_ARTIFACT))

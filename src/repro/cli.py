@@ -9,6 +9,8 @@ Exposes the offline pipeline and the evaluation harness as subcommands::
     repro-ssmdvfs evaluate --model artifacts/pruned --preset 0.10
     repro-ssmdvfs hardware --model artifacts/pruned
     repro-ssmdvfs faults   --mode all --rates 0 0.05 0.5
+    repro-ssmdvfs soak     --small --store .cache/store
+    repro-ssmdvfs store    --root .cache/store
 
 Every command is deterministic given ``--seed`` and runs fully offline.
 Long campaigns take ``--checkpoint`` (resume after interruption),
@@ -249,6 +251,89 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def _soak_selftrain(args, stats: CampaignStats):
+    """Train a base pair for the soak when no ``--model`` was given.
+
+    Uses duration-scaled training kernels and the shared dataset cache
+    so ``soak-smoke`` stays self-contained *and* cheap on re-runs.
+    """
+    arch = _arch(args)
+    kernels = [scale_kernel_to_duration(k, arch, args.duration_us * 1e-6)
+               for k in training_suite()]
+    dataset = cached_dataset(args.cache, kernels, arch, _protocol(args),
+                             workers=args.workers, stats=stats,
+                             use_cache=not args.no_cache)
+    config = PipelineConfig(
+        feature_names=PAPER_FEATURES,
+        train=TrainConfig(epochs=60, patience=12, learning_rate=2e-3,
+                          seed=args.seed),
+        seed=args.seed,
+    )
+    pipeline = build_from_dataset(dataset, arch, config,
+                                  variants=("base",),
+                                  workers=args.workers, stats=stats)
+    return pipeline.models["base"]
+
+
+def cmd_soak(args) -> int:
+    """Run the chaos soak; non-zero exit on any invariant violation."""
+    from .evaluation.soak import SoakConfig, run_soak
+    from .faults import FaultConfig
+    arch = _arch(args)
+    stats = CampaignStats()
+    if args.model:
+        model = SSMDVFSModel.load(args.model)
+    else:
+        model = _soak_selftrain(args, stats)
+    # In-distribution kernels: the soak gauges the detect/heal loop,
+    # not generalization, so a natural out-of-distribution drift must
+    # not shadow the injected staleness episode.
+    kernels = [scale_kernel_to_duration(k, arch, args.duration_us * 1e-6)
+               for k in training_suite()[:args.kernels]]
+    config = SoakConfig(
+        preset=args.preset[0],
+        seed=args.seed,
+        faults=FaultConfig(counter_dropout=args.fault_rate,
+                           counter_nan=args.fault_rate / 20,
+                           counter_spike=args.fault_rate / 20),
+        stale_sigma=args.stale_sigma,
+        recovery_epochs=args.recovery_epochs,
+        crash_write_trials=args.crash_trials,
+    )
+    result = run_soak(model, kernels, arch, args.store, config)
+    print(result.render())
+    if args.export:
+        path = result.export_json(args.export)
+        print(f"exported -> {path}")
+    _print_stats(args, stats)
+    return 0 if result.passed else 1
+
+
+def cmd_store(args) -> int:
+    """Inspect the artifact registry; optionally force a rollback."""
+    from .errors import ArtifactCorrupt
+    from .store import ArtifactStore
+    store = ArtifactStore(args.root)
+    if args.rollback:
+        try:
+            version = store.rollback(args.rollback)
+        except ArtifactCorrupt as error:
+            # Nothing trustworthy to roll back to is an operational
+            # answer, not a crash: report and exit non-zero.
+            print(f"rollback failed: {error}")
+            return 1
+        print(f"{args.rollback}: last_known_good -> v{version}")
+    if args.verify:
+        for name in (store.names() if args.verify == "all" else [args.verify]):
+            for entry in store.versions(name):
+                ok = store.verify(name, entry.version)
+                print(f"{name} v{entry.version:06d} "
+                      f"{'ok' if ok else 'CORRUPT'} ({entry.schema}, "
+                      f"{entry.length} bytes)")
+    print(store.render())
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -370,6 +455,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--export", default=None,
                    help="write the sweep cells as JSON")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser("soak",
+                       help="chaos soak: faults + stale model + crash "
+                            "writes; exit 1 on invariant violation")
+    common(p)
+    p.add_argument("--model", default=None,
+                   help="saved SSMDVFS model pair (omit to self-train a "
+                        "small base pair through the dataset cache)")
+    p.add_argument("--store", default=".cache/store",
+                   help="artifact-registry root the soak seeds and "
+                        "rolls back from")
+    p.add_argument("--kernels", type=int, default=2)
+    p.add_argument("--preset", type=float, nargs="+", default=[0.10])
+    p.add_argument("--duration-us", type=float, default=1000.0)
+    p.add_argument("--fault-rate", type=float, default=0.01,
+                   help="sensor dropout probability (NaN and spike "
+                        "rates scale down from it)")
+    p.add_argument("--stale-sigma", type=float, default=3.0,
+                   help="weight-perturbation scale of the mid-run "
+                        "staleness injection")
+    p.add_argument("--recovery-epochs", type=int, default=60,
+                   help="epoch budget from staleness injection to "
+                        "detection + rollback")
+    p.add_argument("--crash-trials", type=int, default=32,
+                   help="sampled kill offsets of the crash-write "
+                        "torture phase")
+    p.add_argument("--export", default=None,
+                   help="write the soak result payload as JSON")
+    p.set_defaults(func=cmd_soak)
+
+    p = sub.add_parser("store",
+                       help="inspect the artifact registry "
+                            "(operations runbook)")
+    p.add_argument("--root", required=True,
+                   help="registry root directory")
+    p.add_argument("--rollback", default=None, metavar="NAME",
+                   help="demote NAME's last_known_good pointer to the "
+                        "previous verifying version")
+    p.add_argument("--verify", default=None, metavar="NAME",
+                   help="checksum-verify every version of NAME "
+                        "('all' for the whole registry)")
+    p.set_defaults(func=cmd_store)
 
     return parser
 

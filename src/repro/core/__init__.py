@@ -4,6 +4,7 @@ from .calibrator import Calibrator
 from .combined import SSMDVFSModel
 from .controller import SSMDVFSController
 from .decision_maker import DecisionMaker
+from .drift import DriftConfig, DriftMonitor, RollbackManager
 from .event_driven import EventDrivenController, PhaseChangeDetector
 from .guarded import GuardedController
 from .pipeline import (VARIANTS, PipelineConfig, PipelineResult,
@@ -13,6 +14,7 @@ from .policy import (BasePolicy, ModelOraclePolicy, StaticPolicy,
 
 __all__ = [
     "Calibrator", "SSMDVFSModel", "SSMDVFSController", "DecisionMaker",
+    "DriftConfig", "DriftMonitor", "RollbackManager",
     "EventDrivenController", "PhaseChangeDetector", "GuardedController",
     "VARIANTS", "PipelineConfig", "PipelineResult", "build_from_dataset",
     "build_ssmdvfs",

@@ -43,13 +43,20 @@ class Calibrator:
         # Reusable (n, features + 1) input buffer for batched inference;
         # grown/replaced on demand when the batch size changes.
         self._raw_buffer: np.ndarray | None = None
+        #: Non-finite raw model outputs seen so far.  A trained, healthy
+        #: regressor never emits NaN/Inf on sanitized inputs, so this is
+        #: a direct staleness/corruption symptom the drift layer reads.
+        self.nonfinite_predictions = 0
 
     def predict_ratio(self, counters: CounterSet, level: int) -> float:
         """Predicted next-window / current-window throughput ratio."""
         features = self.extractor.extract(counters)
         raw = np.concatenate([features, [float(level)]])
         x = self.scaler.transform(raw)
-        return max(0.0, float(self.model.predict_scalar(x[None, :])[0]))
+        prediction = float(self.model.predict_scalar(x[None, :])[0])
+        if not np.isfinite(prediction):
+            self.nonfinite_predictions += 1
+        return max(0.0, prediction)
 
     def predict_ratios(self, counter_sets: list[CounterSet],
                        levels: list[int]) -> np.ndarray:
@@ -67,7 +74,11 @@ class Calibrator:
         self.extractor.extract_matrix(counter_sets, out=buffer[:, :-1])
         buffer[:, -1] = [float(level) for level in levels]
         x = self.scaler.transform(buffer)
-        return np.maximum(0.0, self.model.predict_scalar(x))
+        predictions = self.model.predict_scalar(x)
+        bad = int((~np.isfinite(predictions)).sum())
+        if bad:
+            self.nonfinite_predictions += bad
+        return np.maximum(0.0, predictions)
 
     def predict_instructions(self, counters: CounterSet,
                              level: int) -> float:

@@ -8,6 +8,7 @@ through a directory of ``.npz``/JSON files.
 
 from __future__ import annotations
 
+import io
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -15,12 +16,17 @@ from pathlib import Path
 import numpy as np
 
 from ..datagen.features import FeatureExtractor, FeatureScaler
-from ..errors import ModelError
+from ..errors import ArtifactCorrupt, ModelError, PolicyError
 from ..nn.flops import model_flops
 from ..nn.mlp import MLP
-from ..nn.serialize import load_model, save_model
+from ..nn.serialize import (load_model, model_from_arrays, model_to_arrays,
+                            save_model)
+from ..store import atomic_write_bytes, atomic_write_text
 from .calibrator import Calibrator
 from .decision_maker import DecisionMaker
+
+#: Schema tag for single-blob pair payloads in the artifact store.
+PAIR_SCHEMA = "ssmdvfs-pair/v1"
 
 
 @dataclass
@@ -95,25 +101,51 @@ class SSMDVFSModel:
             metadata=metadata,
         )
 
+    def verify(self) -> bool:
+        """True when every weight, bias and scaler value is finite.
+
+        The drift-rollback machinery calls this before trusting a pair
+        restored from the artifact store: a pair that deserializes but
+        carries NaN/Inf weights would poison every prediction.
+        """
+        for model in (self.decision_model, self.calibrator_model):
+            for layer in model.layers:
+                if not (np.all(np.isfinite(layer.weights))
+                        and np.all(np.isfinite(layer.bias))
+                        and np.all(np.isfinite(layer.mask))):
+                    return False
+        for scaler in (self.decision_scaler, self.calibrator_scaler):
+            if not (np.all(np.isfinite(scaler.mean_))
+                    and np.all(np.isfinite(scaler.std_))):
+                return False
+        return True
+
     # ------------------------------------------------------------------
     def save(self, directory: str | Path) -> None:
-        """Persist the full artefact into ``directory``."""
+        """Persist the full artefact into ``directory``.
+
+        Every file goes through the atomic write helper, so a crash
+        mid-save can tear at most the *set* of files (detected at load
+        by the shape contracts), never an individual file.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         save_model(self.decision_model, directory / "decision.npz")
         save_model(self.calibrator_model, directory / "calibrator.npz")
-        np.savez(directory / "scalers.npz",
+        buffer = io.BytesIO()
+        np.savez(buffer,
                  d_mean=self.decision_scaler.mean_,
                  d_std=self.decision_scaler.std_,
                  c_mean=self.calibrator_scaler.mean_,
                  c_std=self.calibrator_scaler.std_)
+        atomic_write_bytes(directory / "scalers.npz", buffer.getvalue())
         meta = {
             "feature_names": list(self.feature_names),
             "issue_width": self.issue_width,
             "num_levels": self.num_levels,
             "metadata": self.metadata,
         }
-        (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+        atomic_write_text(directory / "meta.json", json.dumps(meta, indent=2))
 
     @classmethod
     def load(cls, directory: str | Path) -> "SSMDVFSModel":
@@ -122,12 +154,18 @@ class SSMDVFSModel:
         meta_path = directory / "meta.json"
         if not meta_path.exists():
             raise ModelError(f"no SSMDVFS model at {directory}")
-        meta = json.loads(meta_path.read_text())
-        with np.load(directory / "scalers.npz") as data:
-            decision_scaler = FeatureScaler.from_arrays(
-                {"mean": data["d_mean"], "std": data["d_std"]})
-            calibrator_scaler = FeatureScaler.from_arrays(
-                {"mean": data["c_mean"], "std": data["c_std"]})
+        try:
+            meta = json.loads(meta_path.read_text())
+            with np.load(directory / "scalers.npz") as data:
+                decision_scaler = FeatureScaler.from_arrays(
+                    {"mean": data["d_mean"], "std": data["d_std"]})
+                calibrator_scaler = FeatureScaler.from_arrays(
+                    {"mean": data["c_mean"], "std": data["c_std"]})
+        except (ModelError, OSError):
+            raise
+        except Exception as exc:
+            raise ArtifactCorrupt(
+                f"corrupt SSMDVFS artefact at {directory}: {exc}") from exc
         return cls(
             decision_model=load_model(directory / "decision.npz"),
             calibrator_model=load_model(directory / "calibrator.npz"),
@@ -138,3 +176,77 @@ class SSMDVFSModel:
             calibrator_scaler=calibrator_scaler,
             metadata=meta.get("metadata", {}),
         )
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """The whole pair as one ``.npz`` payload for the artifact store.
+
+        Both networks, both scalers and the JSON metadata travel in a
+        single blob, so the store's embedded SHA-256 covers the *pair*
+        — a half-updated Decision-maker/Calibrator combination cannot
+        verify.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for prefix, model in (("dm", self.decision_model),
+                              ("cal", self.calibrator_model)):
+            for key, value in model_to_arrays(model).items():
+                arrays[f"{prefix}_{key}"] = value
+        arrays["d_mean"] = self.decision_scaler.mean_
+        arrays["d_std"] = self.decision_scaler.std_
+        arrays["c_mean"] = self.calibrator_scaler.mean_
+        arrays["c_std"] = self.calibrator_scaler.std_
+        meta = {
+            "feature_names": list(self.feature_names),
+            "issue_width": self.issue_width,
+            "num_levels": self.num_levels,
+            "metadata": self.metadata,
+        }
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8)
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SSMDVFSModel":
+        """Inverse of :meth:`to_bytes`.
+
+        Raises :class:`~repro.errors.ArtifactCorrupt` on any malformed
+        payload — including structurally valid arrays that fail the
+        wrapper shape contracts — so the rollback machinery can walk
+        back to an older version instead of crashing.
+        """
+        try:
+            with np.load(io.BytesIO(blob), allow_pickle=False) as data:
+                arrays = {key: data[key] for key in data.files}
+        except Exception as exc:
+            raise ArtifactCorrupt(
+                f"unreadable SSMDVFS pair payload: {exc}") from exc
+        try:
+            meta = json.loads(bytes(arrays.pop("meta_json")).decode("utf-8"))
+            decision_scaler = FeatureScaler.from_arrays(
+                {"mean": arrays.pop("d_mean"), "std": arrays.pop("d_std")})
+            calibrator_scaler = FeatureScaler.from_arrays(
+                {"mean": arrays.pop("c_mean"), "std": arrays.pop("c_std")})
+            decision = model_from_arrays(
+                {key[3:]: value for key, value in arrays.items()
+                 if key.startswith("dm_")})
+            calibrator = model_from_arrays(
+                {key[4:]: value for key, value in arrays.items()
+                 if key.startswith("cal_")})
+            return cls(
+                decision_model=decision,
+                calibrator_model=calibrator,
+                feature_names=tuple(meta["feature_names"]),
+                issue_width=float(meta["issue_width"]),
+                num_levels=int(meta["num_levels"]),
+                decision_scaler=decision_scaler,
+                calibrator_scaler=calibrator_scaler,
+                metadata=meta.get("metadata", {}),
+            )
+        except ArtifactCorrupt:
+            raise
+        except (PolicyError, ModelError, KeyError, TypeError,
+                ValueError) as exc:
+            raise ArtifactCorrupt(
+                f"malformed SSMDVFS pair payload: {exc}") from exc

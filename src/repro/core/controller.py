@@ -66,6 +66,16 @@ class SSMDVFSController(BasePolicy):
         #: Non-finite Calibrator predictions / observations dropped by
         #: the calibration loop instead of poisoning the working preset.
         self.calibration_anomalies = 0
+        #: Latest *raw* (pre-bias-correction) predicted-vs-actual gap,
+        #: normalised to [-1, 1]; ``None`` until the first comparison.
+        #: This is the drift monitor's primary signal — the bias
+        #: tracker below deliberately absorbs systematic offsets from
+        #: the preset loop, so drift detection must look upstream of it.
+        self.last_gap: float | None = None
+        #: True while the working preset is pinned at its floor — the
+        #: controller is compensating as hard as it can, the runtime
+        #: proxy for realised preset-violation pressure.
+        self.last_violation = False
 
     #: Exponential decay of the cumulative comparison (a ~10-epoch
     #: sliding window of shortfall).
@@ -83,11 +93,25 @@ class SSMDVFSController(BasePolicy):
         self._log_bias = 0.0
         self.preset_trace = []
         self.calibration_anomalies = 0
+        self.last_gap = None
+        self.last_violation = False
         simulator.set_all_levels(simulator.arch.vf_table.default_level)
 
     def observability_counters(self) -> dict[str, int]:
         """Controller-level anomaly counters (for campaign ``--stats``)."""
         return {"calibration_anomalies": self.calibration_anomalies}
+
+    def drift_signal(self) -> tuple[float | None, bool]:
+        """The (gap, violation-pressure) pair the drift monitor consumes.
+
+        ``gap`` is the latest raw predicted-vs-actual instruction gap,
+        ``(predicted - actual) / max(predicted, actual)`` in [-1, 1] —
+        near zero for a healthy Calibrator, saturating toward ±1 when
+        the deployed pair has gone stale.  ``violation`` is True while
+        the working preset sits at its floor (the self-calibration loop
+        out of headroom).
+        """
+        return self.last_gap, self.last_violation
 
     # ------------------------------------------------------------------
     def _calibrate(self, record: EpochRecord) -> None:
@@ -113,6 +137,14 @@ class SSMDVFSController(BasePolicy):
             predicted_sum += predicted
             actual_sum += actual
         self._pending = []
+        if actual_sum > 0.0:
+            # Raw gap for online drift detection, taken *before* the
+            # bias tracker: a stale Calibrator's systematic error gets
+            # absorbed below, so this is the only place it stays
+            # visible.  Symmetric normalisation bounds it in [-1, 1]
+            # (an all-zero prediction reads as -1, full shortfall).
+            self.last_gap = ((predicted_sum - actual_sum)
+                             / max(predicted_sum, actual_sum))
         if predicted_sum <= 0 or actual_sum <= 0:
             return
         # Self-calibration of the Calibrator itself: a slow multiplicative
@@ -152,6 +184,9 @@ class SSMDVFSController(BasePolicy):
         if not math.isfinite(self.working_preset):
             self.calibration_anomalies += 1
             self.working_preset = self.preset
+        self.last_violation = (self.preset > self.min_preset
+                               and self.working_preset
+                               <= self.min_preset + 1e-12)
 
     def decide(self, record: EpochRecord):
         """Calibrate, then pick each cluster's next operating point."""

@@ -1,0 +1,189 @@
+"""Online drift detection and self-healing model rollback.
+
+The Calibrator exists because offline models go stale at runtime; this
+module closes the remaining loop by treating the predicted-vs-actual
+instruction gap as a *trust* signal, not just a preset nudge.  Three
+pieces:
+
+* :class:`DriftConfig` / :class:`DriftMonitor` — an EWMA + one-sided
+  CUSUM monitor over the controller's raw calibration gap and its
+  realised preset-violation pressure.  Single-epoch noise washes out;
+  a sustained shift accumulates in the CUSUM statistic and raises a
+  drift alarm after a handful of epochs.
+* :class:`RollbackManager` — given an :class:`~repro.store.ArtifactStore`
+  and an artifact name, rebuilds a replacement controller from the
+  registry's ``last_known_good`` Decision-maker/Calibrator pair (or
+  any older version that still verifies), validating checksums *and*
+  weight finiteness before trusting it.
+* :class:`repro.core.guarded.GuardedController` consumes both: on a
+  confirmed alarm it hot-swaps its wrapped policy to the recovered
+  pair and re-enters probation, or degrades to the static-frequency
+  fallback when nothing in the registry verifies.  ``drift_*`` and
+  ``rollback_*`` counters surface the whole episode in ``--stats``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ArtifactCorrupt, PolicyError
+from ..store import ArtifactStore
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Thresholds of the EWMA/CUSUM drift monitor.
+
+    ``cusum_slack`` is the per-update magnitude a healthy Calibrator is
+    allowed "for free" (its honest noise floor); only the excess
+    ``|gap| - cusum_slack`` accumulates.  An alarm fires when the
+    accumulated excess crosses ``cusum_limit`` — e.g. the default
+    limit/slack pair confirms drift after ~4 consecutive epochs of a
+    fully-saturated gap, or ~10 epochs of a moderate one — or when the
+    EWMA of the violation-pressure flag stays above
+    ``violation_threshold``.  ``warmup_updates`` suppresses alarms
+    while the first comparisons trickle in.
+    """
+
+    ewma_alpha: float = 0.15
+    cusum_slack: float = 0.15
+    cusum_limit: float = 3.0
+    violation_alpha: float = 0.05
+    violation_threshold: float = 0.6
+    warmup_updates: int = 8
+    #: Non-finite gaps (a poisoned model) count as this magnitude.
+    nonfinite_gap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise PolicyError("ewma_alpha must be in (0, 1]")
+        if not 0.0 < self.violation_alpha <= 1.0:
+            raise PolicyError("violation_alpha must be in (0, 1]")
+        if self.cusum_slack < 0 or self.cusum_limit <= 0:
+            raise PolicyError("cusum_slack >= 0 and cusum_limit > 0 required")
+        if not 0.0 < self.violation_threshold <= 1.0:
+            raise PolicyError("violation_threshold must be in (0, 1]")
+        if self.warmup_updates < 0:
+            raise PolicyError("warmup_updates cannot be negative")
+
+
+class DriftMonitor:
+    """EWMA + CUSUM over the calibration gap and violation pressure.
+
+    ``update`` consumes one epoch's signals and returns True when the
+    accumulated evidence crosses a threshold — the *alarm*.  The
+    monitor stays latched (``drifted``) until :meth:`reset`, which the
+    guard calls after a rollback so the restored pair starts from a
+    clean slate.
+    """
+
+    def __init__(self, config: DriftConfig | None = None) -> None:
+        self.config = config or DriftConfig()
+        self.counters: dict[str, int] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all accumulated state (post-rollback clean slate)."""
+        self.ewma_gap = 0.0
+        self.cusum = 0.0
+        self.violation_pressure = 0.0
+        self.updates = 0
+        self.drifted = False
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def update(self, gap: float | None, violation: bool = False) -> bool:
+        """Fold one epoch's signals in; True when this update alarms.
+
+        ``gap`` is the controller's raw normalised calibration gap
+        (None when no comparison happened this epoch — e.g. all
+        clusters drained — which skips the gap statistics but still
+        tracks violation pressure).
+        """
+        config = self.config
+        self.updates += 1
+        self._count("drift_updates")
+        if gap is not None:
+            if not math.isfinite(gap):
+                self._count("drift_nonfinite_gaps")
+                magnitude = config.nonfinite_gap
+            else:
+                magnitude = min(abs(gap), 1.0)
+            self.ewma_gap += config.ewma_alpha * (magnitude - self.ewma_gap)
+            self.cusum = max(0.0, self.cusum
+                             + magnitude - config.cusum_slack)
+        self.violation_pressure += config.violation_alpha * (
+            float(bool(violation)) - self.violation_pressure)
+        if self.updates <= config.warmup_updates or self.drifted:
+            return False
+        if (self.cusum > config.cusum_limit
+                or self.violation_pressure > config.violation_threshold):
+            self.drifted = True
+            self._count("drift_alarms")
+            return True
+        return False
+
+    def observability_counters(self) -> dict[str, int]:
+        """Monitor counters (``drift_*``), for ``--stats`` fold-in."""
+        return dict(self.counters)
+
+
+class RollbackManager:
+    """Recover a trustworthy controller from the artifact registry.
+
+    ``build`` maps a restored :class:`~repro.core.combined.SSMDVFSModel`
+    to a fresh policy instance (typically
+    ``lambda model: SSMDVFSController(model, preset)``).  Recovery
+    walks the registry starting at ``last_known_good`` and then down
+    through older versions, skipping anything whose checksum or weight
+    finiteness fails; it returns None when nothing verifies, which the
+    guard translates into a permanent static-frequency fallback.
+    """
+
+    def __init__(self, store: ArtifactStore, name: str,
+                 build: Callable[["object"], "object"]) -> None:
+        self.store = store
+        self.name = name
+        self.build = build
+        self.counters: dict[str, int] = {}
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def _candidate_versions(self) -> list[int]:
+        versions = [entry.version for entry in self.store.versions(self.name)]
+        good = self.store.last_known_good(self.name)
+        ordered: list[int] = []
+        if good in versions:
+            ordered.append(good)
+        for version in sorted(versions, reverse=True):
+            if version not in ordered:
+                ordered.append(version)
+        return ordered
+
+    def recover(self):
+        """A fresh policy built from the best verifying pair, or None."""
+        from .combined import SSMDVFSModel
+        self._count("rollback_attempts")
+        for version in self._candidate_versions():
+            try:
+                blob = self.store.get(self.name, version, fallback=False)
+                model = SSMDVFSModel.from_bytes(blob)
+            except ArtifactCorrupt:
+                self._count("rollback_corrupt_versions")
+                continue
+            if not model.verify():
+                self._count("rollback_unverified_versions")
+                continue
+            self._count("rollback_successes")
+            self.counters["rollback_restored_version"] = version
+            return self.build(model)
+        self._count("rollback_exhausted")
+        return None
+
+    def observability_counters(self) -> dict[str, int]:
+        """Rollback counters (``rollback_*``), for ``--stats`` fold-in."""
+        return dict(self.counters)

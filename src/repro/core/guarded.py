@@ -29,8 +29,20 @@ State machine::
     PROBATION --(probation_epochs clean)--------> ACTIVE
     PROBATION --(any anomaly)-------------------> FALLBACK
 
+A fourth, *model-lifecycle* layer rides on the same machine: when a
+:class:`~repro.core.drift.DriftMonitor` is attached, every consulted
+epoch feeds the wrapped controller's calibration-gap signal into it.
+A confirmed drift alarm hot-swaps the wrapped policy for one rebuilt
+from the artifact registry's last-known-good pair (via a
+:class:`~repro.core.drift.RollbackManager`) and re-enters PROBATION to
+validate it; when nothing in the registry verifies, the guard pins
+itself in FALLBACK — the static default operating point cannot violate
+the preset — for the rest of the run.  In strict mode a drift alarm
+raises :class:`~repro.errors.DriftDetected` instead.
+
 Per-guard trip counters are exposed through
-:meth:`observability_counters` (``guard_*`` names) and folded into
+:meth:`observability_counters` (``guard_*``, plus ``drift_*`` /
+``rollback_*`` when the drift layer is attached) and folded into
 campaign ``--stats`` by the evaluation runner.
 """
 
@@ -38,7 +50,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import GuardTripped, PolicyError
+from ..errors import DriftDetected, GuardTripped, PolicyError
 from ..gpu.counters import CounterSet
 from ..gpu.simulator import EpochRecord, GPUSimulator
 from .policy import BasePolicy, validate_decision
@@ -56,7 +68,8 @@ class GuardedController(BasePolicy):
                  trip_threshold: int = 3, fallback_epochs: int = 20,
                  probation_epochs: int = 10,
                  max_counter_value: float = 1e15,
-                 strict: bool = False) -> None:
+                 strict: bool = False,
+                 drift_monitor=None, rollback=None) -> None:
         super().__init__()
         if trip_threshold < 1:
             raise PolicyError("trip_threshold must be >= 1")
@@ -72,12 +85,19 @@ class GuardedController(BasePolicy):
         self.probation_epochs = int(probation_epochs)
         self.max_counter_value = float(max_counter_value)
         self.strict = strict
+        #: Optional :class:`~repro.core.drift.DriftMonitor`; fed from
+        #: the wrapped policy's ``drift_signal()`` on consulted epochs.
+        self.drift_monitor = drift_monitor
+        #: Optional :class:`~repro.core.drift.RollbackManager` used to
+        #: hot-swap the wrapped policy on a confirmed drift alarm.
+        self.rollback = rollback
         self.state = ACTIVE
         self.state_trace: list[str] = []
         self.guard_counters: dict[str, int] = {}
         self._streak = 0
         self._state_epochs = 0
         self._fallback_level = 0
+        self._pinned_fallback = False
 
     # ------------------------------------------------------------------
     def reset(self, simulator: GPUSimulator) -> None:
@@ -94,18 +114,30 @@ class GuardedController(BasePolicy):
         self.guard_counters = {}
         self._streak = 0
         self._state_epochs = 0
+        self._pinned_fallback = False
+        if self.drift_monitor is not None:
+            self.drift_monitor.reset()
         self.inner.reset(simulator)
 
     def _count(self, name: str, amount: int = 1) -> None:
         self.guard_counters[name] = self.guard_counters.get(name, 0) + amount
 
     def observability_counters(self) -> dict[str, int]:
-        """Guard trip counters, merged with the wrapped policy's."""
+        """Guard trip counters, merged with the wrapped policy's.
+
+        When the drift layer is attached its ``drift_*`` / ``rollback_*``
+        counters are folded in too.
+        """
         merged = dict(self.guard_counters)
-        inner_counters = getattr(self.inner, "observability_counters", None)
-        if callable(inner_counters):
-            for name, amount in inner_counters().items():
-                merged[name] = merged.get(name, 0) + amount
+        sources = [getattr(self.inner, "observability_counters", None)]
+        if self.drift_monitor is not None:
+            sources.append(self.drift_monitor.observability_counters)
+        if self.rollback is not None:
+            sources.append(self.rollback.observability_counters)
+        for source in sources:
+            if callable(source):
+                for name, amount in source().items():
+                    merged[name] = merged.get(name, 0) + amount
         return merged
 
     # ------------------------------------------------------------------
@@ -197,15 +229,18 @@ class GuardedController(BasePolicy):
         record, anomalies = self._sanitize_record(record)
 
         decision: list[int] | None = None
+        consulted = False
         if self.state == FALLBACK:
             self._count("guard_fallback_epochs")
             self._state_epochs += 1
-            if self._state_epochs >= self.fallback_epochs:
+            if (not self._pinned_fallback
+                    and self._state_epochs >= self.fallback_epochs):
                 self._enter(PROBATION)
                 # A stateful policy (e.g. the Calibrator loop) has been
                 # blind during fallback; restart it cleanly for probation.
                 self.inner.reset(self.simulator)
         else:
+            consulted = True
             decision, consult_anomalies = self._consult(record)
             anomalies += consult_anomalies
 
@@ -231,10 +266,51 @@ class GuardedController(BasePolicy):
                     self._count("guard_recoveries")
                     self._enter(ACTIVE)
 
+        # Model-lifecycle layer: on every epoch where the wrapped policy
+        # actually ran (and the FSM still trusts it), fold its
+        # calibration gap into the drift monitor and react to alarms.
+        if (consulted and self.drift_monitor is not None
+                and self.state in (ACTIVE, PROBATION)):
+            signal = getattr(self.inner, "drift_signal", None)
+            gap, violation = (signal() if callable(signal)
+                              else (None, False))
+            if self.drift_monitor.update(gap, violation):
+                decision = self._handle_drift()
+
         self.state_trace.append(self.state)
         if self.state == FALLBACK or decision is None:
             return self._fallback_decision()
         return decision
+
+    def _handle_drift(self) -> None:
+        """React to a confirmed drift alarm: hot-swap or pin fallback."""
+        assert self.simulator is not None
+        self._count("drift_trips")
+        if self.strict:
+            raise DriftDetected(
+                f"sustained model drift confirmed after "
+                f"{self.drift_monitor.updates} monitored epochs "
+                f"(counters: {self.observability_counters()})")
+        replacement = (self.rollback.recover()
+                       if self.rollback is not None else None)
+        if replacement is not None:
+            # Hot-swap to the registry's last-known-good pair and let
+            # PROBATION validate it; this epoch still actuates the safe
+            # fallback level.
+            self.inner = replacement
+            self.inner.reset(self.simulator)
+            self.drift_monitor.reset()
+            self._count("rollback_hot_swaps")
+            self._enter(PROBATION)
+        else:
+            # Nothing in the registry verifies: the model pair cannot
+            # be trusted again this run, so hold the static fallback
+            # (the baseline operating point cannot violate the preset).
+            self.drift_monitor.reset()
+            self._pinned_fallback = True
+            self._count("rollback_pinned_fallback")
+            self._enter(FALLBACK)
+        return None
 
     def _enter(self, state: str) -> None:
         self.state = state

@@ -12,6 +12,12 @@ of re-simulating, while any parameter change lands on a fresh key.
 
 The same helpers back the evaluation-grid cache in
 :mod:`repro.evaluation.cache`.
+
+Cache files are written through :func:`repro.store.atomic_write_bytes`
+(temp + fsync + rename): a crash mid-save leaves the previous artefact
+or the new one, never a truncated archive.  A corrupt file is still
+tolerated on read — counted and regenerated — because the cache
+predates the atomic writer and disks rot.
 """
 
 from __future__ import annotations

@@ -41,6 +41,7 @@ features into training.
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -50,6 +51,7 @@ from ..errors import DatasetError
 from ..gpu.counters import COUNTER_NAMES, CounterSet
 from ..nn.compress import SplitData
 from ..parallel import CampaignStats, parallel_map
+from ..store import atomic_write_bytes
 from .features import FeatureExtractor, FeatureScaler
 from .protocol import BreakpointSamples
 
@@ -341,9 +343,19 @@ class DVFSDataset:
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Persist to ``.npz`` (datasets are expensive to regenerate)."""
+        """Persist to ``.npz`` (datasets are expensive to regenerate).
+
+        The write is atomic (temp + fsync + rename): a kill mid-save
+        leaves either the previous dataset or the new one on disk,
+        never a truncated archive the cache layer would have to count
+        as corrupt and regenerate.
+        """
+        path = Path(path)
+        if path.suffix != ".npz":  # np.savez's historical behaviour
+            path = path.with_name(path.name + ".npz")
+        buffer = io.BytesIO()
         np.savez(
-            Path(path),
+            buffer,
             counters=self.counters,
             kernel_names=np.array(self.kernel_names),
             sample_breakpoint=self.sample_breakpoint,
@@ -352,6 +364,7 @@ class DVFSDataset:
             sample_instructions=self.sample_instructions,
             record_group=self.record_group,
         )
+        atomic_write_bytes(path, buffer.getvalue())
 
     @classmethod
     def load(cls, path: str | Path) -> "DVFSDataset":

@@ -40,6 +40,28 @@ class CompressionError(ModelError):
     """Layer-wise compression or pruning produced an invalid model."""
 
 
+class ArtifactCorrupt(ModelError):
+    """A stored artifact failed checksum, schema, or shape validation.
+
+    Raised by the crash-consistent artifact store when an on-disk
+    version's embedded SHA-256 or header does not verify, and by the
+    model loaders when a payload is malformed (missing arrays,
+    inconsistent shapes, non-numeric dtypes).  Derives from
+    :class:`ModelError` because the artifacts the registry protects are
+    predominantly trained model pairs, and callers historically catch
+    ``ModelError`` around loads.
+    """
+
+
+class DriftDetected(ReproError):
+    """The online drift monitor confirmed sustained model drift.
+
+    Only raised when a guarded controller runs in strict mode; in the
+    default self-healing mode drift triggers a rollback to the
+    registry's last-known-good pair instead.
+    """
+
+
 class DatasetError(ReproError):
     """A dataset is empty, inconsistent, or incorrectly labelled."""
 

@@ -17,6 +17,8 @@ from .robustness import (FaultSweepCell, FaultSweepResult,
                          seed_sweep)
 from .runner import (ComparisonResult, PolicyRun, compare_policies,
                      run_policy_on_kernel)
+from .soak import (KernelSoak, SoakConfig, SoakResult, crash_write_torture,
+                   perturb_model_weights, run_soak)
 
 __all__ = [
     "cached_comparison", "comparison_cache_key",
@@ -34,4 +36,6 @@ __all__ = [
     "SeedSweepResult", "fault_sweep", "seed_sweep",
     "ComparisonResult", "PolicyRun", "compare_policies",
     "run_policy_on_kernel",
+    "KernelSoak", "SoakConfig", "SoakResult", "crash_write_torture",
+    "perturb_model_weights", "run_soak",
 ]

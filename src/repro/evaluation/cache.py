@@ -25,6 +25,7 @@ from ..gpu.arch import GPUArchConfig
 from ..gpu.kernels import KernelProfile
 from ..parallel import CampaignCheckpoint, CampaignStats
 from ..power.model import PowerModel
+from ..store import atomic_write_text
 from ..units import us
 from .runner import ComparisonResult, compare_policies
 
@@ -98,5 +99,7 @@ def cached_comparison(cache_dir: str | Path,
                               workers=workers, stats=stats,
                               checkpoint=ckpt, retries=retries,
                               timeout_s=timeout_s)
-    path.write_text(json.dumps(result.to_payload()))
+    # Atomic write: a kill mid-save must leave either the previous grid
+    # or the new one, never a torn JSON the next run discards.
+    atomic_write_text(path, json.dumps(result.to_payload()))
     return result

@@ -22,8 +22,8 @@ from .population import (PopulationAdam, PopulationDense, PopulationMLP,
 from .prune import PruneReport, magnitude_prune, neuron_prune, prune_model
 from .quant import (FixedPointFormat, QuantizationReport, choose_format,
                     quantize_model)
-from .serialize import (load_model, model_from_arrays, model_to_arrays,
-                        save_model)
+from .serialize import (load_model, model_from_arrays, model_from_bytes,
+                        model_to_arrays, model_to_bytes, save_model)
 from .trainer import (TrainConfig, TrainHistory, fit, train_classifier,
                       train_regressor)
 
@@ -48,7 +48,8 @@ __all__ = [
     "PruneReport", "magnitude_prune", "neuron_prune", "prune_model",
     "FixedPointFormat", "QuantizationReport", "choose_format",
     "quantize_model",
-    "load_model", "model_from_arrays", "model_to_arrays", "save_model",
+    "load_model", "model_from_arrays", "model_from_bytes",
+    "model_to_arrays", "model_to_bytes", "save_model",
     "TrainConfig", "TrainHistory", "fit", "train_classifier",
     "train_regressor",
 ]

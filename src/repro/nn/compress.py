@@ -31,7 +31,6 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
-import os
 from dataclasses import asdict, dataclass
 from functools import partial
 from pathlib import Path
@@ -40,6 +39,7 @@ import numpy as np
 
 from ..errors import CompressionError
 from ..parallel import CampaignCheckpoint, CampaignStats, parallel_map
+from ..store import atomic_write_text
 from .flops import model_flops
 from .metrics import accuracy, mape
 from .mlp import MLP
@@ -314,9 +314,9 @@ def _load_cached_point(path: Path, counters: dict[str, int]
 
 def _store_cached_point(path: Path, payload: dict) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, sort_keys=True))
-    os.replace(tmp, path)
+    # Crash-consistent: a kill mid-save leaves the previous point (or
+    # nothing), never a torn JSON the next sweep would discard.
+    atomic_write_text(path, json.dumps(payload, sort_keys=True))
 
 
 # ---------------------------------------------------------------------------

@@ -2,16 +2,25 @@
 
 Models round-trip through plain dictionaries of numpy arrays, which
 also serialize to ``.npz`` files — enough for checkpointing trained
-Decision-maker / Calibrator pairs between pipeline stages.
+Decision-maker / Calibrator pairs between pipeline stages.  Loads are
+defensive: a malformed payload (missing arrays, inconsistent shapes,
+non-numeric dtypes, a truncated or non-npz file) raises
+:class:`~repro.errors.ArtifactCorrupt` — never a bare ``KeyError`` or
+numpy exception — so corrupt artefacts are distinguishable from bugs
+and the artifact store's fallback machinery can react.  Saves go
+through the shared atomic write helper so a crash mid-checkpoint
+cannot tear the file.
 """
 
 from __future__ import annotations
 
+import io
 from pathlib import Path
 
 import numpy as np
 
-from ..errors import ModelError
+from ..errors import ArtifactCorrupt, ModelError
+from ..store import atomic_write_bytes
 from .layers import Dense
 from .mlp import MLP
 
@@ -30,12 +39,19 @@ def model_to_arrays(model: MLP) -> dict[str, np.ndarray]:
 
 
 def model_from_arrays(arrays: dict[str, np.ndarray]) -> MLP:
-    """Rebuild a model serialized by :func:`model_to_arrays`."""
+    """Rebuild a model serialized by :func:`model_to_arrays`.
+
+    Raises :class:`~repro.errors.ArtifactCorrupt` (a
+    :class:`~repro.errors.ModelError`) on any structural defect.
+    """
     if "num_layers" not in arrays:
-        raise ModelError("missing num_layers key")
-    num_layers = int(arrays["num_layers"])
+        raise ArtifactCorrupt("missing num_layers key")
+    try:
+        num_layers = int(arrays["num_layers"])
+    except (TypeError, ValueError) as exc:
+        raise ArtifactCorrupt(f"unreadable num_layers: {exc}") from exc
     if num_layers <= 0:
-        raise ModelError("serialized model has no layers")
+        raise ArtifactCorrupt("serialized model has no layers")
     model = MLP.__new__(MLP)
     model.layers = []
     for index in range(num_layers):
@@ -45,11 +61,15 @@ def model_from_arrays(arrays: dict[str, np.ndarray]) -> MLP:
             mask = np.asarray(arrays[f"m{index}"], dtype=np.float64)
             activation = str(arrays[f"act{index}"])
         except KeyError as exc:
-            raise ModelError(f"missing array for layer {index}: {exc}") from exc
+            raise ArtifactCorrupt(
+                f"missing array for layer {index}: {exc}") from exc
+        except (TypeError, ValueError) as exc:
+            raise ArtifactCorrupt(
+                f"layer {index} has a non-numeric payload: {exc}") from exc
         if weights.ndim != 2 or bias.shape != (weights.shape[1],):
-            raise ModelError(f"layer {index} has inconsistent shapes")
+            raise ArtifactCorrupt(f"layer {index} has inconsistent shapes")
         if mask.shape != weights.shape:
-            raise ModelError(f"layer {index} mask shape mismatch")
+            raise ArtifactCorrupt(f"layer {index} mask shape mismatch")
         layer = Dense.__new__(Dense)
         layer.weights = weights
         layer.bias = bias
@@ -64,9 +84,26 @@ def model_from_arrays(arrays: dict[str, np.ndarray]) -> MLP:
     return model
 
 
+def model_to_bytes(model: MLP) -> bytes:
+    """The model's ``.npz`` payload as bytes (for the artifact store)."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **model_to_arrays(model))
+    return buffer.getvalue()
+
+
+def model_from_bytes(blob: bytes) -> MLP:
+    """Inverse of :func:`model_to_bytes`; ArtifactCorrupt on bad blobs."""
+    try:
+        with np.load(io.BytesIO(blob), allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+    except Exception as exc:
+        raise ArtifactCorrupt(f"unreadable model payload: {exc}") from exc
+    return model_from_arrays(arrays)
+
+
 def save_model(model: MLP, path: str | Path) -> None:
-    """Save a model to an ``.npz`` file."""
-    np.savez(Path(path), **model_to_arrays(model))
+    """Save a model to an ``.npz`` file (atomic: temp + fsync + rename)."""
+    atomic_write_bytes(Path(path), model_to_bytes(model))
 
 
 def load_model(path: str | Path) -> MLP:
@@ -74,5 +111,4 @@ def load_model(path: str | Path) -> MLP:
     path = Path(path)
     if not path.exists():
         raise ModelError(f"model file not found: {path}")
-    with np.load(path, allow_pickle=False) as data:
-        return model_from_arrays({key: data[key] for key in data.files})
+    return model_from_bytes(path.read_bytes())

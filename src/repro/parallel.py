@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from .errors import CampaignError, ParallelError, ReproError
+from .store import atomic_write_bytes
 
 logger = logging.getLogger(__name__)
 
@@ -235,13 +236,15 @@ class CampaignCheckpoint:
         return results
 
     def save(self, results: dict[int, object]) -> None:
-        """Atomically persist the completed results."""
+        """Atomically persist the completed results.
+
+        Routed through the shared write-temp/fsync/rename helper so a
+        crash mid-checkpoint can never leave a torn file for the next
+        resume to (silently) discard.
+        """
         payload = {"magic": self.MAGIC, "key": self.key,
                    "results": dict(results)}
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_bytes(pickle.dumps(payload))
-        os.replace(tmp, self.path)
+        atomic_write_bytes(self.path, pickle.dumps(payload))
         self.saves += 1
 
     def clear(self) -> None:
