@@ -16,7 +16,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast test-slow bench-smoke train-bench-smoke bench \
-	faults-smoke soak-smoke
+	faults-smoke soak-smoke fleet-smoke
 
 test-fast:
 	$(PYTHON) -m pytest -q -m "not slow"
@@ -39,6 +39,18 @@ soak-smoke:
 	$(PYTHON) -m repro.cli soak --small --breakpoints 4 --kernels 2 \
 		--cache .cache --store .cache/store --stats \
 		--export benchmarks/results/SOAK_smoke.json
+
+# Fleet smoke: replay a bursty two-class trace over 16 simulated GPUs
+# under per-node governors and gate on the SLO-violation rate — the CLI
+# exits non-zero when more than 5% of jobs miss their deadline, so a
+# scheduler regression (EDF ordering, placement, replay accounting)
+# fails the job.  The JSON export is byte-stable per seed and uploaded
+# by CI as an artifact.  Outside the tier-1 `test-fast` gate.
+fleet-smoke:
+	$(PYTHON) -m repro.cli fleet --small --nodes 16 --jobs 48 \
+		--trace burst --policy governor --load 0.7 --stats \
+		--slo-gate 0.05 --export benchmarks/results/FLEET_smoke.json
+	$(PYTHON) -m pytest -q tests/test_fleet.py
 
 test:
 	$(PYTHON) -m pytest -q

@@ -6,6 +6,11 @@ tenant and a memory tenant, duration-balanced) and compares per-cluster
 SSMDVFS against every chip-wide static level, PCSTALL and the
 utilization governor.  Per-cluster control is the only policy that can
 serve both tenants at once; chip-wide settings must sacrifice one.
+
+The seeded fleet benchmark extends tenancy beyond one chip: a bursty
+two-class arrival trace replays over 16 SSMDVFS-controlled nodes
+(``repro.fleet``) and the deterministic phase-2 queueing replay is
+timed on its own.
 """
 
 import numpy as np
@@ -43,12 +48,21 @@ def _tenants():
 
 def test_mixed_tenancy(pipeline, arch, benchmark):
     model = pipeline.model("pruned")
-    tenants = _tenants()
+
+    # Every run gets a *fresh* tenant pair: a single shared list would
+    # alias simulator-side state between policy runs, and the budgets
+    # assertion below would no longer certify identical workloads.
+    budgets = []
+
+    def fresh_tenants():
+        tenants = _tenants()
+        budgets.append(sum(t.total_instructions for t in tenants))
+        return tenants
 
     rows = []
     results = {}
     for level in range(arch.vf_table.num_levels):
-        simulator = GPUSimulator(arch, tenants, seed=23)
+        simulator = GPUSimulator(arch, fresh_tenants(), seed=23)
         run = simulator.run(StaticPolicy(level), keep_records=False)
         results[f"static-l{level}"] = run
     for policy_factory in (
@@ -57,8 +71,11 @@ def test_mixed_tenancy(pipeline, arch, benchmark):
         lambda: UtilizationGovernor(),
     ):
         policy = policy_factory()
-        simulator = GPUSimulator(arch, tenants, seed=23)
+        simulator = GPUSimulator(arch, fresh_tenants(), seed=23)
         results[policy.name] = simulator.run(policy, keep_records=True)
+
+    # All policies competed on byte-identical instruction budgets.
+    assert len(set(budgets)) == 1 and len(budgets) == len(results)
 
     base = results["static-l5"]
     for name, run in results.items():
@@ -92,5 +109,48 @@ def test_mixed_tenancy(pipeline, arch, benchmark):
 
     # Benchmark: one mixed-tenancy epoch step.
     simulator = GPUSimulator(
-        arch, [t.with_iterations(10_000) for t in tenants], seed=23)
+        arch, [t.with_iterations(10_000) for t in _tenants()], seed=23)
     benchmark(simulator.step_epoch)
+
+
+def test_fleet_replay(pipeline, arch, benchmark):
+    """Seeded fleet replay: SSMDVFS nodes serving a bursty job stream.
+
+    Full-scale extension of the fleet subsystem: 16 Titan-X nodes under
+    per-node pruned-model controllers absorb a bursty two-class trace.
+    Asserts the replay is seed-deterministic and that the latency class
+    is not starved, then benchmarks the phase-2 discrete-event replay
+    (scheduling overhead only; job simulations are reused).
+    """
+    from repro.fleet import (ClusterScheduler, TraceConfig, build_trace,
+                             policy_factory)
+
+    model = pipeline.model("pruned")
+    factory = policy_factory("ssmdvfs", preset=PRESET, model=model)
+    config = TraceConfig(trace="burst", jobs=24, nodes=16, load=0.8,
+                         seed=11)
+    jobs = build_trace(arch, config)
+
+    def replay():
+        scheduler = ClusterScheduler(arch, factory, num_nodes=16,
+                                     policy_name="ssmdvfs", seed=11)
+        return scheduler.run(jobs, trace_name="burst")
+
+    result = replay()
+    assert result.to_payload() == replay().to_payload()
+    assert len(result.outcomes) == len(jobs)
+    # At 0.8 offered load the latency class must stay within its SLO.
+    assert result.slo_violation_rate("latency") <= 0.25
+
+    from _reporting import write_result
+    write_result("fleet_replay", result.render())
+
+    # Benchmark only the serial queueing replay — the new scheduler
+    # code path — against precomputed per-job service outcomes.
+    ordered = sorted(jobs, key=lambda j: (j.arrival_s, j.job_id))
+    service = {o.job_id: (o.service_s, o.energy_j, o.epochs,
+                          o.mean_level, {})
+               for o in result.outcomes}
+    scheduler = ClusterScheduler(arch, factory, num_nodes=16,
+                                 policy_name="ssmdvfs", seed=11)
+    benchmark(lambda: scheduler._replay(ordered, service, "burst"))

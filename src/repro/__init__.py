@@ -13,10 +13,10 @@ paper-vs-measured results.
 
 __version__ = "1.0.0"
 
-from . import (baselines, core, datagen, evaluation, gpu, hardware,  # noqa: F401
-               nn, parallel, power, workloads)
+from . import (baselines, core, datagen, evaluation, fleet, gpu,  # noqa: F401
+               hardware, nn, parallel, power, workloads)
 
 __all__ = [
-    "baselines", "core", "datagen", "evaluation", "gpu", "hardware", "nn",
-    "parallel", "power", "workloads", "__version__",
+    "baselines", "core", "datagen", "evaluation", "fleet", "gpu",
+    "hardware", "nn", "parallel", "power", "workloads", "__version__",
 ]

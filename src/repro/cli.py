@@ -11,6 +11,7 @@ Exposes the offline pipeline and the evaluation harness as subcommands::
     repro-ssmdvfs faults   --mode all --rates 0 0.05 0.5
     repro-ssmdvfs soak     --small --store .cache/store
     repro-ssmdvfs store    --root .cache/store
+    repro-ssmdvfs fleet    --nodes 128 --trace steady --policy pcstall
 
 Every command is deterministic given ``--seed`` and runs fully offline.
 Long campaigns take ``--checkpoint`` (resume after interruption),
@@ -33,6 +34,7 @@ from .core.controller import SSMDVFSController
 from .core.pipeline import PipelineConfig, build_from_dataset
 from .evaluation.experiments import run_fig4, run_hardware, run_table1
 from .evaluation.export import export_fig4_json
+from .fleet import BUILTIN_TRACES, FLEET_POLICIES
 from .parallel import CampaignStats
 from .units import us
 from .workloads.suites import (evaluation_suite, full_suite,
@@ -309,6 +311,52 @@ def cmd_soak(args) -> int:
     return 0 if result.passed else 1
 
 
+def cmd_fleet(args) -> int:
+    """Replay an arrival trace over N simulated GPUs; report fleet SLOs."""
+    from .fleet import (ClusterScheduler, ThermalConfig, TraceConfig,
+                        build_trace, policy_factory)
+    from .parallel import CampaignCheckpoint
+    arch = _arch(args)
+    stats = CampaignStats()
+    model = SSMDVFSModel.load(args.model) if args.model else None
+    factory = policy_factory(args.policy, preset=args.preset[0],
+                             model=model, level=args.level)
+    policy_name = (f"static-l{args.level}" if args.policy == "static"
+                   else args.policy)
+    trace_config = TraceConfig(
+        trace=args.trace, jobs=args.jobs, nodes=args.nodes, load=args.load,
+        latency_fraction=args.latency_fraction,
+        latency_duration_s=args.latency_us * 1e-6,
+        throughput_duration_s=args.throughput_us * 1e-6, seed=args.seed)
+    jobs = build_trace(arch, trace_config)
+    checkpoint = None
+    if args.checkpoint:
+        key = (f"fleet-{args.trace}-{policy_name}-n{args.nodes}"
+               f"-j{args.jobs}-s{args.seed}")
+        checkpoint = CampaignCheckpoint(Path(args.cache) / f"{key}.ckpt",
+                                        key=key)
+    scheduler = ClusterScheduler(
+        arch, factory, num_nodes=args.nodes, policy_name=policy_name,
+        seed=args.seed, thermal=ThermalConfig(), workers=args.workers,
+        stats=stats, checkpoint=checkpoint, retries=args.retries,
+        timeout_s=args.task_timeout)
+    result = scheduler.run(jobs, trace_name=args.trace)
+    print(result.render())
+    if args.export:
+        path = result.export_json(args.export)
+        print(f"exported -> {path}")
+    _print_stats(args, stats)
+    if args.slo_gate is not None:
+        rate = result.slo_violation_rate()
+        if rate > args.slo_gate:
+            print(f"SLO gate FAILED: violation rate {rate:.4f} > "
+                  f"gate {args.slo_gate:.4f}")
+            return 1
+        print(f"SLO gate ok: violation rate {rate:.4f} <= "
+              f"gate {args.slo_gate:.4f}")
+    return 0
+
+
 def cmd_store(args) -> int:
     """Inspect the artifact registry; optionally force a rollback."""
     from .errors import ArtifactCorrupt
@@ -484,6 +532,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--export", default=None,
                    help="write the soak result payload as JSON")
     p.set_defaults(func=cmd_soak)
+
+    p = sub.add_parser("fleet",
+                       help="replay a job-arrival trace over N simulated "
+                            "GPUs under per-node DVFS controllers")
+    common(p, cache=False)
+    p.add_argument("--cache", default=".cache",
+                   help="checkpoint directory for --checkpoint")
+    p.add_argument("--nodes", type=int, default=16,
+                   help="number of simulated GPUs in the fleet")
+    p.add_argument("--jobs", type=int, default=64,
+                   help="jobs in the arrival trace")
+    p.add_argument("--trace", default="steady", choices=BUILTIN_TRACES,
+                   help="builtin arrival pattern")
+    p.add_argument("--load", type=float, default=0.7,
+                   help="offered load as a fraction of fleet capacity "
+                        "(>1 oversubscribes)")
+    p.add_argument("--policy", default="governor", choices=FLEET_POLICIES,
+                   help="per-node DVFS policy")
+    p.add_argument("--model", default=None,
+                   help="saved SSMDVFS model (required for ssmdvfs* "
+                        "policies)")
+    p.add_argument("--level", type=int, default=None,
+                   help="VF level for --policy static")
+    p.add_argument("--preset", type=float, nargs="+", default=[0.10])
+    p.add_argument("--latency-fraction", type=float, default=0.6,
+                   help="fraction of jobs in the latency-sensitive class")
+    p.add_argument("--latency-us", type=float, default=100.0,
+                   help="nominal duration of latency-class jobs")
+    p.add_argument("--throughput-us", type=float, default=400.0,
+                   help="nominal duration of throughput-class jobs")
+    p.add_argument("--slo-gate", type=float, default=None,
+                   help="exit 1 when the overall SLO-violation rate "
+                        "exceeds this fraction")
+    p.add_argument("--export", default=None,
+                   help="write the fleet result payload as JSON "
+                        "(atomic, byte-stable per seed)")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("store",
                        help="inspect the artifact registry "

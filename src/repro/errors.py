@@ -87,6 +87,16 @@ class FaultInjectionError(ReproError):
     """The fault-injection harness was configured inconsistently."""
 
 
+class FleetError(ReproError):
+    """The fleet scheduler or its job stream was configured inconsistently.
+
+    Raised for malformed arrival traces (non-positive job counts,
+    unknown builtin trace shapes, invalid load factors), for popping an
+    empty :class:`~repro.fleet.queue.PendingJobQueue`, and for
+    scheduler-level inconsistencies (unknown policy names, node counts
+    below one)."""
+
+
 class GuardTripped(ReproError):
     """A runtime guard exceeded its trip budget with fallback disabled."""
 

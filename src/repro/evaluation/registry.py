@@ -125,6 +125,16 @@ _REGISTRY: tuple[ExperimentEntry, ...] = (
         extension=True,
     ),
     ExperimentEntry(
+        experiment_id="fleet-replay",
+        title="Fleet-scale trace replay over per-GPU controllers (extension)",
+        paper_claim="(per-node DVFS holds fleet SLOs under bursty load)",
+        modules=("repro.fleet.scheduler", "repro.fleet.jobs",
+                 "repro.fleet.metrics"),
+        bench="benchmarks/bench_mixed_tenancy.py",
+        driver="repro.cli.cmd_fleet",
+        extension=True,
+    ),
+    ExperimentEntry(
         experiment_id="ablate-event-driven",
         title="Event-driven inference gating (extension)",
         paper_claim="(most per-epoch inferences are skippable at no cost)",

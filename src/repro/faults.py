@@ -22,9 +22,11 @@ fault models the resilience work is tested against:
   drives the retry/quarantine machinery of
   :func:`repro.parallel.parallel_map`.
 
-Every fault draw is deterministic given the config seed, so a faulted
-campaign is replayable and the retried result can be byte-compared
-against a fault-free run.
+Every fault draw is deterministic given the config seed *and* the run
+identity (:func:`derive_fault_seed` mixes in the workload name and
+simulator seed), so a faulted campaign is replayable byte-for-byte at
+any worker count while concurrent tasks still draw independent fault
+streams rather than one correlated sequence.
 """
 
 from __future__ import annotations
@@ -41,6 +43,22 @@ import numpy as np
 from .errors import FaultInjectionError
 from .gpu.counters import NUM_COUNTERS, CounterSet
 from .gpu.simulator import EpochRecord, GPUSimulator
+from .parallel import derive_seed
+
+
+def derive_fault_seed(base_seed: int, *parts: object) -> int:
+    """Stable per-run fault-stream seed from the run's identity.
+
+    A campaign fans one :class:`FaultConfig` out over many tasks; if
+    every wrapped policy re-seeded its stream straight from
+    ``config.seed``, all tasks would replay the *same* fault sequence
+    — systematically correlated faults masquerading as an independent
+    sample.  Mixing the run identity (workload name, simulator seed)
+    into the seed via SHA-256 keeps each task's stream independent
+    while staying deterministic: the same task draws the same faults
+    serial or parallel, any worker count.
+    """
+    return derive_seed(base_seed, "fault-stream", *parts)
 
 #: The probability knobs of :class:`FaultConfig`, validated as one group.
 _RATE_FIELDS = ("counter_dropout", "counter_stuck", "counter_nan",
@@ -136,8 +154,15 @@ class FaultyPolicy:
 
     # ------------------------------------------------------------------
     def reset(self, simulator: GPUSimulator) -> None:
-        """Re-seed the fault stream and reset the wrapped policy."""
-        self._rng = np.random.default_rng(self.config.seed)
+        """Derive this run's fault stream and reset the wrapped policy.
+
+        The stream seed mixes the config seed with the run identity
+        (:func:`derive_fault_seed`), so two tasks of the same campaign
+        — different kernels or simulator seeds — draw independent
+        fault sequences instead of replaying one stream in lockstep.
+        """
+        self._rng = np.random.default_rng(derive_fault_seed(
+            self.config.seed, simulator.workload_name, simulator.seed))
         self._previous = None
         self._delayed = None
         self.counts = {}

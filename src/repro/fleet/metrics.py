@@ -1,0 +1,218 @@
+"""Fleet-level metrics: EDP, SLO accounting, tail latency.
+
+The paper's per-GPU metrics (normalized EDP, normalized latency) do not
+capture what a datacenter operator watches.  :class:`FleetResult`
+aggregates a scheduled trace into the fleet-scale triple:
+
+* **fleet EDP** — total dissipated energy times the makespan, the
+  energy-delay product of the fleet serving the whole trace;
+* **SLO-violation rate** — the fraction of jobs that finished after
+  their deadline (reported overall and per job class);
+* **tail latency** — p50/p95/p99 of per-job latency (queue wait plus
+  service), the distribution SLOs are actually written against.
+
+Every field derives deterministically from the seeded trace replay, so
+``export_json`` produces byte-identical payloads across reruns — the
+property the ``fleet-smoke`` CI gate and the regression tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import FleetError
+from ..store import atomic_write_text
+from .jobs import JOB_CLASSES
+
+#: The tail percentiles every fleet report carries.
+TAIL_PERCENTILES = (50, 95, 99)
+
+
+def tail_latencies(latencies_s: list[float],
+                   percentiles: tuple[int, ...] = TAIL_PERCENTILES
+                   ) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over a latency sample."""
+    if not latencies_s:
+        return {f"p{p}": 0.0 for p in percentiles}
+    values = np.asarray(latencies_s, dtype=float)
+    return {f"p{p}": float(np.percentile(values, p)) for p in percentiles}
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's scheduled life: arrival -> queue -> node -> completion."""
+
+    job_id: int
+    name: str
+    job_class: str
+    node_id: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    service_s: float
+    energy_j: float
+    epochs: int
+    mean_level: float
+    deadline_s: float
+
+    @property
+    def wait_s(self) -> float:
+        """Time spent in the pending queue."""
+        return self.start_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: queue wait plus service."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def violated(self) -> bool:
+        """True when the job finished past its deadline."""
+        return self.finish_s > self.deadline_s
+
+    def to_payload(self) -> dict:
+        """JSON-ready dict including the derived SLO fields."""
+        payload = asdict(self)
+        payload["wait_s"] = self.wait_s
+        payload["latency_s"] = self.latency_s
+        payload["violated"] = self.violated
+        return payload
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of one scheduled trace replay."""
+
+    policy_name: str
+    trace_name: str
+    seed: int
+    num_nodes: int
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    node_summaries: list[dict] = field(default_factory=list)
+    peak_queue_depth: int = 0
+
+    # ------------------------------------------------------------------
+    def _require_jobs(self) -> None:
+        if not self.outcomes:
+            raise FleetError("fleet result holds no job outcomes")
+
+    @property
+    def makespan_s(self) -> float:
+        """First arrival to last completion."""
+        self._require_jobs()
+        return (max(o.finish_s for o in self.outcomes)
+                - min(o.arrival_s for o in self.outcomes))
+
+    @property
+    def total_energy_j(self) -> float:
+        """Energy dissipated by every job across the fleet."""
+        return sum(o.energy_j for o in self.outcomes)
+
+    @property
+    def fleet_edp(self) -> float:
+        """Fleet energy-delay product: total energy x makespan."""
+        return self.total_energy_j * self.makespan_s
+
+    def violations(self, job_class: str | None = None) -> int:
+        """Count of deadline misses (optionally for one class)."""
+        return sum(1 for o in self.outcomes if o.violated
+                   and (job_class is None or o.job_class == job_class))
+
+    def slo_violation_rate(self, job_class: str | None = None) -> float:
+        """Fraction of jobs that missed their deadline."""
+        jobs = [o for o in self.outcomes
+                if job_class is None or o.job_class == job_class]
+        if not jobs:
+            return 0.0
+        return sum(1 for o in jobs if o.violated) / len(jobs)
+
+    def latencies(self, job_class: str | None = None) -> list[float]:
+        """Per-job latencies (seconds), job-id order."""
+        return [o.latency_s for o in self.outcomes
+                if job_class is None or o.job_class == job_class]
+
+    def tail_latency(self, job_class: str | None = None) -> dict[str, float]:
+        """p50/p95/p99 latency, overall or for one job class."""
+        return tail_latencies(self.latencies(job_class))
+
+    def mean_utilization(self) -> float:
+        """Mean busy fraction across nodes over the makespan."""
+        self._require_jobs()
+        horizon = max(o.finish_s for o in self.outcomes)
+        if horizon <= 0 or not self.node_summaries:
+            return 0.0
+        return float(np.mean([n["busy_s"] / horizon
+                              for n in self.node_summaries]))
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-ready dict (no wall-clock: seeded replays export bit-equal)."""
+        per_class = {}
+        for job_class in JOB_CLASSES:
+            per_class[job_class] = {
+                "jobs": sum(1 for o in self.outcomes
+                            if o.job_class == job_class),
+                "slo_violation_rate": self.slo_violation_rate(job_class),
+                "tail_latency_s": self.tail_latency(job_class),
+            }
+        return {
+            "policy": self.policy_name,
+            "trace": self.trace_name,
+            "seed": self.seed,
+            "nodes": self.num_nodes,
+            "jobs": len(self.outcomes),
+            "makespan_s": self.makespan_s,
+            "total_energy_j": self.total_energy_j,
+            "fleet_edp": self.fleet_edp,
+            "slo_violation_rate": self.slo_violation_rate(),
+            "slo_violations": self.violations(),
+            "tail_latency_s": self.tail_latency(),
+            "mean_utilization": self.mean_utilization(),
+            "peak_queue_depth": self.peak_queue_depth,
+            "per_class": per_class,
+            "node_summaries": list(self.node_summaries),
+            "job_outcomes": [o.to_payload() for o in self.outcomes],
+        }
+
+    def export_json(self, path: str | Path) -> Path:
+        """Atomically write the payload as JSON; returns the path."""
+        path = Path(path)
+        atomic_write_text(path, json.dumps(self.to_payload(), indent=2,
+                                           sort_keys=True))
+        return path
+
+    def render(self) -> str:
+        """Human-readable fleet report."""
+        from ..evaluation.reporting import format_percent, format_table
+        self._require_jobs()
+        rows = []
+        for job_class in (None, *JOB_CLASSES):
+            label = job_class or "all"
+            tail = self.tail_latency(job_class)
+            jobs = [o for o in self.outcomes
+                    if job_class is None or o.job_class == job_class]
+            rows.append([
+                label, str(len(jobs)),
+                format_percent(self.slo_violation_rate(job_class)),
+                f"{tail['p50'] * 1e6:.1f}",
+                f"{tail['p95'] * 1e6:.1f}",
+                f"{tail['p99'] * 1e6:.1f}",
+            ])
+        table = format_table(
+            ["class", "jobs", "SLO viol", "p50 (us)", "p95 (us)",
+             "p99 (us)"], rows,
+            title=(f"Fleet replay: policy {self.policy_name}, trace "
+                   f"{self.trace_name}, {self.num_nodes} nodes, "
+                   f"seed {self.seed}"))
+        lines = [table,
+                 f"fleet EDP {self.fleet_edp:.3e} J*s  "
+                 f"(energy {self.total_energy_j * 1e3:.2f} mJ over "
+                 f"makespan {self.makespan_s * 1e3:.3f} ms)",
+                 f"mean node utilization "
+                 f"{format_percent(self.mean_utilization())}, peak queue "
+                 f"depth {self.peak_queue_depth}"]
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Deadline-aware pending-job queue.
+
+Jobs wait here between arrival and dispatch.  Ordering is earliest-
+deadline-first (EDF): the job whose deadline expires soonest is always
+served next, with FIFO arrival order as the deterministic tie-break.
+Latency-sensitive jobs carry much tighter deadlines than throughput
+jobs, so EDF naturally prioritises the interactive traffic without a
+separate priority lane — a throughput job only runs ahead of a latency
+job when the latency job still has more slack than it does.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import FleetError
+from .jobs import Job
+
+
+class PendingJobQueue:
+    """Earliest-deadline-first queue of jobs awaiting dispatch."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Job]] = []
+        self._pushes = 0
+        #: High-water mark of the backlog (fleet observability).
+        self.peak_depth = 0
+
+    def push(self, job: Job) -> None:
+        """Enqueue a job, keyed by its deadline (FIFO tie-break)."""
+        heapq.heappush(self._heap, (job.deadline_s, self._pushes, job))
+        self._pushes += 1
+        self.peak_depth = max(self.peak_depth, len(self._heap))
+
+    def pop(self) -> Job:
+        """Remove and return the job with the earliest deadline."""
+        if not self._heap:
+            raise FleetError("cannot pop an empty pending-job queue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> Job:
+        """The job that :meth:`pop` would return, without removing it."""
+        if not self._heap:
+            raise FleetError("cannot peek an empty pending-job queue")
+        return self._heap[0][2]
+
+    def jobs(self) -> list[Job]:
+        """Pending jobs in dispatch order (non-destructive)."""
+        return [entry[2] for entry in sorted(self._heap)]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,236 @@
+"""Cluster scheduler: an arrival trace over per-GPU DVFS controllers.
+
+Two-phase, deterministic fleet replay:
+
+1. **Simulate** — every job is an independent (kernel, policy, seed)
+   simulation: a fresh per-node controller drives a fresh
+   :class:`~repro.gpu.simulator.GPUSimulator` built from a stable
+   per-job seed (:func:`repro.parallel.derive_seed`).  The phase fans
+   out over the resilient campaign layer
+   (:func:`repro.parallel.parallel_map`), so hundreds of simulated GPUs
+   reuse the retry/quarantine/checkpoint machinery and the ``--stats``
+   counters of every other campaign in the repo.  Because service time
+   and energy depend only on the job's own seed — not on queueing —
+   this phase is order-independent and parallel-safe.
+
+2. **Replay** — a serial discrete-event pass replays the queueing:
+   arrivals enter the :class:`~repro.fleet.queue.PendingJobQueue`
+   (earliest deadline first), and whenever a node is idle the
+   dispatcher places the most urgent pending job on the
+   least-contended node (:class:`~repro.fleet.tracker.NodeTracker`).
+   Completion times, queue waits, deadline verdicts and per-node
+   energy/thermal state all come out of this pass.
+
+The split keeps the expensive part embarrassingly parallel while the
+scheduling decisions stay strictly sequential and reproducible: the
+same seed yields a byte-identical :class:`~repro.fleet.metrics.FleetResult`
+export regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import heapq
+from functools import partial
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines.governor import UtilizationGovernor
+from ..baselines.pcstall import PCSTALLPolicy
+from ..core.controller import SSMDVFSController
+from ..core.guarded import GuardedController
+from ..core.policy import ModelOraclePolicy, StaticPolicy
+from ..errors import FleetError
+from ..gpu.arch import GPUArchConfig
+from ..gpu.simulator import DEFAULT_EPOCH_S, GPUSimulator
+from ..parallel import (CampaignCheckpoint, CampaignStats, derive_seed,
+                        parallel_map)
+from ..power.model import PowerModel
+from .jobs import Job
+from .metrics import FleetResult, JobOutcome
+from .queue import PendingJobQueue
+from .tracker import NodeTracker, ThermalConfig
+
+#: Policy names accepted by :func:`policy_factory` (the CLI choices).
+FLEET_POLICIES = ("ssmdvfs", "ssmdvfs-guarded", "ssmdvfs-chipwide",
+                  "pcstall", "governor", "oracle", "static")
+
+
+def _guarded_ssmdvfs(model, preset: float):
+    """Factory body for the guarded per-node controller (picklable)."""
+    return GuardedController(SSMDVFSController(model, preset))
+
+
+def policy_factory(name: str, *, preset: float = 0.10, model=None,
+                   level: int | None = None) -> Callable[[], object]:
+    """A picklable zero-arg factory for one per-node policy.
+
+    ``ssmdvfs*`` variants need a trained ``model``; ``static`` needs a
+    ``level``.  The returned factory builds a *fresh* policy per job,
+    matching the evaluation runner's fresh-policy-per-run rule.
+    """
+    if name in ("ssmdvfs", "ssmdvfs-guarded", "ssmdvfs-chipwide"):
+        if model is None:
+            raise FleetError(f"policy {name!r} needs a trained model")
+        if name == "ssmdvfs":
+            return partial(SSMDVFSController, model, preset)
+        if name == "ssmdvfs-guarded":
+            return partial(_guarded_ssmdvfs, model, preset)
+        return partial(SSMDVFSController, model, preset, per_cluster=False)
+    if name == "pcstall":
+        return partial(PCSTALLPolicy, preset)
+    if name == "governor":
+        return UtilizationGovernor
+    if name == "oracle":
+        return partial(ModelOraclePolicy, preset)
+    if name == "static":
+        if level is None:
+            raise FleetError("policy 'static' needs a level")
+        return partial(StaticPolicy, level)
+    raise FleetError(f"unknown fleet policy {name!r}; "
+                     f"expected one of {FLEET_POLICIES}")
+
+
+def _simulate_job(task: tuple) -> tuple[float, float, int, float,
+                                        dict[str, int]]:
+    """Process-pool unit: run one job's kernel under a fresh controller.
+
+    Returns ``(service_s, energy_j, epochs, mean_level, counters)``.
+    The mean operating level feeds the node tracker's frequency state;
+    the policy's observability counters travel back for ``--stats``.
+    """
+    factory, kernel, arch, power_model, seed, epoch_s = task
+    policy = factory()
+    simulator = GPUSimulator(arch, kernel, power_model, seed=seed,
+                             epoch_s=epoch_s)
+    result = simulator.run(policy, keep_records=True)
+    if result.records:
+        mean_level = float(np.mean([np.mean(r.levels)
+                                    for r in result.records]))
+    else:
+        mean_level = float(arch.vf_table.default_level)
+    counters_fn = getattr(policy, "observability_counters", None)
+    counters = counters_fn() if callable(counters_fn) else {}
+    return (result.time_s, result.energy_j, result.epochs, mean_level,
+            counters)
+
+
+class ClusterScheduler:
+    """Place an arrival trace onto N simulated GPUs, one policy per node."""
+
+    def __init__(self, arch: GPUArchConfig, factory: Callable[[], object],
+                 *, num_nodes: int, policy_name: str = "policy",
+                 power_model: PowerModel | None = None, seed: int = 0,
+                 epoch_s: float = DEFAULT_EPOCH_S,
+                 thermal: ThermalConfig | None = None,
+                 workers: int | None = None,
+                 stats: CampaignStats | None = None,
+                 checkpoint: CampaignCheckpoint | None = None,
+                 retries: int = 2, timeout_s: float | None = None) -> None:
+        if num_nodes < 1:
+            raise FleetError("a fleet needs at least one node")
+        self.arch = arch
+        self.factory = factory
+        self.num_nodes = int(num_nodes)
+        self.policy_name = policy_name
+        self.power_model = power_model or PowerModel.scaled_for(
+            arch.num_clusters)
+        self.seed = int(seed)
+        self.epoch_s = float(epoch_s)
+        self.thermal = thermal
+        self.workers = workers
+        self.stats = stats if stats is not None else CampaignStats()
+        self.checkpoint = checkpoint
+        self.retries = retries
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _simulate(self, jobs: Sequence[Job]) -> list[tuple]:
+        """Phase 1: per-job simulations through the campaign layer."""
+        tasks = [(self.factory, job.kernel, self.arch, self.power_model,
+                  derive_seed(self.seed, "fleet-job", job.job_id),
+                  self.epoch_s)
+                 for job in jobs]
+        outcomes = parallel_map(_simulate_job, tasks, workers=self.workers,
+                                stats=self.stats, stage="fleet-simulate",
+                                checkpoint=self.checkpoint,
+                                retries=self.retries,
+                                timeout_s=self.timeout_s)
+        for *_, counters in outcomes:
+            self.stats.merge_counters(counters)
+        return outcomes
+
+    def run(self, jobs: Sequence[Job], trace_name: str = "trace"
+            ) -> FleetResult:
+        """Replay a job stream over the fleet; returns the fleet result."""
+        jobs = sorted(jobs, key=lambda j: (j.arrival_s, j.job_id))
+        if not jobs:
+            raise FleetError("cannot schedule an empty job stream")
+        simulated = self._simulate(jobs)
+        service = {job.job_id: outcome
+                   for job, outcome in zip(jobs, simulated)}
+
+        with self.stats.stage("fleet-replay", tasks=len(jobs), workers=1,
+                              mode="serial"):
+            result = self._replay(jobs, service, trace_name)
+        self.stats.count("fleet_jobs", len(jobs))
+        self.stats.count("fleet_slo_violations", result.violations())
+        return result
+
+    # ------------------------------------------------------------------
+    def _replay(self, jobs: list[Job], service: dict[int, tuple],
+                trace_name: str) -> FleetResult:
+        """Phase 2: serial discrete-event replay of queueing + placement."""
+        tracker = NodeTracker(self.num_nodes, thermal=self.thermal)
+        queue = PendingJobQueue()
+        outcomes: list[JobOutcome] = []
+        #: (finish_s, job_id) min-heap of in-flight completions.
+        running: list[tuple[float, int]] = []
+        pending_meta: dict[int, tuple[Job, int, float]] = {}
+        arrival_index = 0
+
+        def dispatch(now_s: float) -> None:
+            """Place pending jobs on idle nodes, most urgent first."""
+            while queue and tracker.idle_nodes(now_s):
+                job = queue.pop()
+                node = tracker.least_contended(now_s)
+                service_s, energy_j, epochs, mean_level, _ = \
+                    service[job.job_id]
+                start_s = max(now_s, node.free_at_s)
+                finish_s = start_s + service_s
+                tracker.assign(node, job, start_s, finish_s)
+                heapq.heappush(running, (finish_s, job.job_id))
+                pending_meta[job.job_id] = (job, node.node_id, start_s)
+                self.stats.count("fleet_dispatches")
+
+        while arrival_index < len(jobs) or queue or running:
+            next_arrival = (jobs[arrival_index].arrival_s
+                            if arrival_index < len(jobs) else float("inf"))
+            next_finish = running[0][0] if running else float("inf")
+            if next_arrival <= next_finish:
+                now_s = next_arrival
+                queue.push(jobs[arrival_index])
+                arrival_index += 1
+            else:
+                now_s = next_finish
+                _, job_id = heapq.heappop(running)
+                job, node_id, start_s = pending_meta.pop(job_id)
+                service_s, energy_j, epochs, mean_level, _ = service[job_id]
+                node = tracker.nodes[node_id]
+                tracker.complete(node, now_s, service_s, energy_j,
+                                 mean_level)
+                outcomes.append(JobOutcome(
+                    job_id=job.job_id, name=job.name,
+                    job_class=job.job_class, node_id=node_id,
+                    arrival_s=job.arrival_s, start_s=start_s,
+                    finish_s=now_s, service_s=service_s,
+                    energy_j=energy_j, epochs=epochs,
+                    mean_level=mean_level, deadline_s=job.deadline_s))
+            dispatch(now_s)
+
+        outcomes.sort(key=lambda o: o.job_id)
+        return FleetResult(
+            policy_name=self.policy_name, trace_name=trace_name,
+            seed=self.seed, num_nodes=self.num_nodes, outcomes=outcomes,
+            node_summaries=tracker.to_payload(),
+            peak_queue_depth=queue.peak_depth)

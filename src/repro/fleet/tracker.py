@@ -1,0 +1,146 @@
+"""Per-GPU node state and least-contended placement.
+
+The tracker maintains what the dispatcher knows about every simulated
+GPU: when it frees up (contention), how much work and energy it has
+absorbed (load), the mean operating level its controller last ran at
+(frequency state), and a first-order thermal proxy.  Placement picks
+the **least-contended** node: smallest backlog first, then the coolest
+and least-loaded node, with the node id as the final deterministic
+tie-break — so an idle fleet round-robins by temperature instead of
+piling every job onto node 0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import FleetError
+from .jobs import Job
+
+#: Ambient temperature of the thermal proxy (deg C).
+AMBIENT_C = 35.0
+
+
+@dataclass
+class NodeState:
+    """Dispatcher-visible state of one simulated GPU."""
+
+    node_id: int
+    free_at_s: float = 0.0
+    jobs_assigned: int = 0
+    jobs_done: int = 0
+    busy_s: float = 0.0
+    energy_j: float = 0.0
+    temperature_c: float = AMBIENT_C
+    peak_temperature_c: float = AMBIENT_C
+    last_level_mean: float = 0.0
+    last_update_s: float = 0.0
+
+    def backlog_s(self, now_s: float) -> float:
+        """Seconds of already-committed work beyond ``now_s``."""
+        return max(0.0, self.free_at_s - now_s)
+
+    def utilization(self, horizon_s: float) -> float:
+        """Busy fraction of the run horizon."""
+        return self.busy_s / horizon_s if horizon_s > 0 else 0.0
+
+    def to_payload(self) -> dict:
+        """JSON-ready summary of this node."""
+        return {
+            "node_id": self.node_id,
+            "jobs_done": self.jobs_done,
+            "busy_s": self.busy_s,
+            "energy_j": self.energy_j,
+            "peak_temperature_c": self.peak_temperature_c,
+            "last_level_mean": self.last_level_mean,
+        }
+
+
+@dataclass
+class ThermalConfig:
+    """First-order RC thermal proxy: heat per joule, exponential cool-down."""
+
+    ambient_c: float = AMBIENT_C
+    #: Temperature rise per joule of dissipated energy (deg C / J).
+    heat_per_joule: float = 40.0
+    #: Cool-down time constant (seconds of simulated fleet time).
+    tau_s: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.heat_per_joule < 0 or self.tau_s <= 0:
+            raise FleetError("thermal proxy needs heat_per_joule >= 0 "
+                             "and tau_s > 0")
+
+
+class NodeTracker:
+    """Book-keeping and placement over the fleet's simulated GPUs."""
+
+    def __init__(self, num_nodes: int,
+                 thermal: ThermalConfig | None = None) -> None:
+        if num_nodes < 1:
+            raise FleetError("a fleet needs at least one node")
+        self.thermal = thermal or ThermalConfig()
+        self.nodes = [NodeState(node_id=i,
+                                temperature_c=self.thermal.ambient_c,
+                                peak_temperature_c=self.thermal.ambient_c)
+                      for i in range(num_nodes)]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    def _cool(self, node: NodeState, now_s: float) -> None:
+        """Decay the node's temperature toward ambient up to ``now_s``."""
+        elapsed = max(0.0, now_s - node.last_update_s)
+        if elapsed > 0:
+            node.temperature_c = (
+                self.thermal.ambient_c
+                + (node.temperature_c - self.thermal.ambient_c)
+                * math.exp(-elapsed / self.thermal.tau_s))
+            node.last_update_s = now_s
+
+    def contention_key(self, node: NodeState,
+                       now_s: float) -> tuple[float, float, float, int]:
+        """Placement sort key: backlog, then heat, then load, then id."""
+        return (node.backlog_s(now_s), node.temperature_c, node.busy_s,
+                node.node_id)
+
+    def least_contended(self, now_s: float) -> NodeState:
+        """The node the dispatcher should place the next job on."""
+        for node in self.nodes:
+            self._cool(node, now_s)
+        return min(self.nodes, key=lambda n: self.contention_key(n, now_s))
+
+    def idle_nodes(self, now_s: float) -> list[NodeState]:
+        """Nodes with no committed work beyond ``now_s``."""
+        return [n for n in self.nodes if n.free_at_s <= now_s + 1e-15]
+
+    # ------------------------------------------------------------------
+    def assign(self, node: NodeState, job: Job, start_s: float,
+               finish_s: float) -> None:
+        """Commit a job to a node for the ``[start_s, finish_s)`` window."""
+        if finish_s < start_s:
+            raise FleetError("job cannot finish before it starts")
+        if start_s < node.free_at_s - 1e-15:
+            raise FleetError(
+                f"node {node.node_id} is busy until {node.free_at_s:.6g}s; "
+                f"cannot start a job at {start_s:.6g}s")
+        node.free_at_s = finish_s
+        node.jobs_assigned += 1
+
+    def complete(self, node: NodeState, finish_s: float, service_s: float,
+                 energy_j: float, mean_level: float) -> None:
+        """Fold a finished job's measurements into the node state."""
+        self._cool(node, finish_s)
+        node.jobs_done += 1
+        node.busy_s += service_s
+        node.energy_j += energy_j
+        node.last_level_mean = mean_level
+        node.temperature_c += self.thermal.heat_per_joule * energy_j
+        node.peak_temperature_c = max(node.peak_temperature_c,
+                                      node.temperature_c)
+
+    def to_payload(self) -> list[dict]:
+        """JSON-ready per-node summaries, ordered by node id."""
+        return [node.to_payload() for node in self.nodes]

@@ -273,38 +273,102 @@ def _run_group(fn: Callable[[T], R],
     return outcomes
 
 
-def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+#: Errors a teardown step can legitimately hit on a broken pool:
+#: OS-level process trouble plus interpreter internals drifting.
+#: Anything else — ``KeyboardInterrupt`` included — propagates.
+_POOL_TEARDOWN_ERRORS = (OSError, ValueError, RuntimeError,
+                         AttributeError, KeyError)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor,
+                    stats: CampaignStats | None = None) -> None:
     """Hard-stop a pool whose workers may be hung or dead.
 
     ``shutdown(wait=True)`` would block forever on a hung worker, so
     the worker processes are terminated first.  Uses the executor's
-    process table (no public kill API exists); guarded so a changed
-    interpreter internal degrades to a plain shutdown.
+    process table (no public kill API exists).  Teardown failures are
+    never fatal — a campaign must not die while cleaning up a pool
+    that is already broken — but they are no longer silent: each one
+    is logged and counted as ``campaign_suppressed_errors``.
     """
+    def _suppress(exc: BaseException, step: str) -> None:
+        logger.warning("suppressed %s during pool teardown: %r", step, exc)
+        if stats is not None:
+            stats.count("campaign_suppressed_errors")
+
     processes = list(getattr(pool, "_processes", None) or {})
     process_map = getattr(pool, "_processes", None) or {}
     for pid in processes:
         try:
             process_map[pid].terminate()
-        except Exception:
-            pass
+        except _POOL_TEARDOWN_ERRORS as exc:
+            _suppress(exc, f"terminate of worker {pid}")
     try:
         pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:
-        pass
+    except _POOL_TEARDOWN_ERRORS as exc:
+        _suppress(exc, "pool shutdown")
     for pid in processes:
         try:
             process_map[pid].join(timeout=5.0)
-        except Exception:
-            pass
+        except _POOL_TEARDOWN_ERRORS as exc:
+            _suppress(exc, f"join of worker {pid}")
+
+
+#: Ways ``pickle.dumps`` fails on an object that genuinely cannot
+#: travel to a worker process.  Unrelated errors propagate.
+_PICKLE_PROBE_ERRORS = (pickle.PicklingError, TypeError, AttributeError,
+                        ValueError, RecursionError, NotImplementedError)
 
 
 def _is_picklable(obj: object) -> bool:
+    """True when ``obj`` can be shipped to a process-pool worker."""
     try:
         pickle.dumps(obj)
         return True
-    except Exception:
+    except _PICKLE_PROBE_ERRORS:
         return False
+
+
+#: Errors a checkpoint write can hit without invalidating the campaign
+#: itself: filesystem trouble or an unpicklable result payload.
+_CHECKPOINT_WRITE_ERRORS = (OSError, pickle.PicklingError, TypeError)
+
+
+def _checkpoint_save(checkpoint: CampaignCheckpoint | None,
+                     results: dict[int, object],
+                     stats: CampaignStats) -> None:
+    """Persist progress; a failed write is visible, never fatal.
+
+    A full disk or unpicklable result must not kill an otherwise
+    healthy campaign — the run merely loses its ability to resume.
+    The failure is logged and counted
+    (``campaign_checkpoint_write_failures`` plus the aggregate
+    ``campaign_suppressed_errors``) so ``--stats`` surfaces it.
+    """
+    if checkpoint is None:
+        return
+    try:
+        checkpoint.save(results)
+    except _CHECKPOINT_WRITE_ERRORS as exc:
+        logger.warning("campaign checkpoint write to %s failed: %r",
+                       checkpoint.path, exc)
+        stats.count("campaign_checkpoint_write_failures")
+        stats.count("campaign_suppressed_errors")
+    else:
+        stats.count("campaign_checkpoint_saves")
+
+
+def _checkpoint_clear(checkpoint: CampaignCheckpoint | None,
+                      stats: CampaignStats) -> None:
+    """Remove a completed campaign's checkpoint; count a failed unlink."""
+    if checkpoint is None:
+        return
+    try:
+        checkpoint.clear()
+    except OSError as exc:
+        logger.warning("could not remove campaign checkpoint %s: %r",
+                       checkpoint.path, exc)
+        stats.count("campaign_suppressed_errors")
 
 
 def _serial_map(fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
@@ -323,16 +387,13 @@ def _serial_pass(fn: Callable[[T], R], tasks: Sequence[T],
             results[index] = fn(task)
             since_save += 1
             if checkpoint is not None and since_save >= checkpoint.every:
-                checkpoint.save(results)
-                stats.count("campaign_checkpoint_saves")
+                _checkpoint_save(checkpoint, results, stats)
                 since_save = 0
     except BaseException:
         if checkpoint is not None and since_save:
-            checkpoint.save(results)
-            stats.count("campaign_checkpoint_saves")
+            _checkpoint_save(checkpoint, results, stats)
         raise
-    if checkpoint is not None:
-        checkpoint.clear()
+    _checkpoint_clear(checkpoint, stats)
     return [results[index] for index in range(len(tasks))]
 
 
@@ -403,8 +464,7 @@ def parallel_map(fn: Callable[[T], R], tasks: Iterable[T], *,
         def _save_checkpoint() -> None:
             nonlocal since_save
             if checkpoint is not None and since_save:
-                checkpoint.save(results)
-                stats.count("campaign_checkpoint_saves")
+                _checkpoint_save(checkpoint, results, stats)
                 since_save = 0
 
         def _record_failure(index: int, exc: BaseException | None,
@@ -486,12 +546,12 @@ def parallel_map(fn: Callable[[T], R], tasks: Iterable[T], *,
                                 _record_failure(index, value,
                                                 "campaign_task_errors")
             except BaseException:
-                _terminate_pool(pool)
+                _terminate_pool(pool, stats)
                 _save_checkpoint()
                 raise
             else:
                 if pool_dirty:
-                    _terminate_pool(pool)
+                    _terminate_pool(pool, stats)
                 else:
                     pool.shutdown(wait=True)
             if checkpoint is not None and since_save >= checkpoint.every:
@@ -521,6 +581,5 @@ def parallel_map(fn: Callable[[T], R], tasks: Iterable[T], *,
                         f"in-process rescue: {cause!r}",
                         task_id=index) from exc
 
-        if checkpoint is not None:
-            checkpoint.clear()
+        _checkpoint_clear(checkpoint, stats)
         return [results[index] for index in range(len(tasks))]

@@ -13,7 +13,8 @@ from repro.core.policy import StaticPolicy, validate_decision
 from repro.errors import FaultInjectionError, GuardTripped, PolicyError
 from repro.evaluation.robustness import fault_sweep
 from repro.faults import (FAULT_MODES, FaultConfig, FaultyPolicy,
-                          build_faulty_policy, config_for_mode)
+                          build_faulty_policy, config_for_mode,
+                          derive_fault_seed)
 from repro.gpu.counters import CounterSet
 from repro.gpu.kernels import KernelProfile
 from repro.gpu.phases import balanced_phase
@@ -69,6 +70,32 @@ def test_fault_injection_is_deterministic_per_seed(small_arch):
 
     assert run_with(5) == run_with(5)
     assert run_with(5)[2] != run_with(6)[2]
+
+
+def test_fault_streams_are_independent_per_run(small_arch):
+    # One FaultConfig fanned over a campaign must not replay the same
+    # fault sequence in every task: the stream seed mixes in the run
+    # identity (workload name, simulator seed) while staying stable
+    # for the same run.
+    config = FaultConfig(counter_dropout=0.5, seed=7)
+
+    def stream(name, seed):
+        kernel = KernelProfile(name, [balanced_phase("b", 50_000)],
+                               iterations=2)
+        simulator = GPUSimulator(small_arch, kernel, seed=seed)
+        policy = FaultyPolicy(StaticPolicy(3), config)
+        policy.reset(simulator)
+        return policy._rng.random(16).tolist()
+
+    assert stream("k.same", 0) == stream("k.same", 0)
+    assert stream("k.one", 0) != stream("k.two", 0)
+    assert stream("k.one", 0) != stream("k.one", 1)
+
+
+def test_derive_fault_seed_is_stable_and_identity_sensitive():
+    assert derive_fault_seed(7, "k.a", 0) == derive_fault_seed(7, "k.a", 0)
+    assert derive_fault_seed(7, "k.a", 0) != derive_fault_seed(7, "k.b", 0)
+    assert derive_fault_seed(7, "k.a", 0) != derive_fault_seed(8, "k.a", 0)
 
 
 def test_dropout_zeroes_whole_windows(small_arch):

@@ -10,7 +10,8 @@ import repro
 
 PACKAGES = ["repro", "repro.gpu", "repro.gpu.detailed", "repro.power",
             "repro.workloads", "repro.nn", "repro.datagen", "repro.core",
-            "repro.baselines", "repro.hardware", "repro.evaluation"]
+            "repro.baselines", "repro.hardware", "repro.evaluation",
+            "repro.fleet"]
 
 
 def _walk_modules():

@@ -217,6 +217,41 @@ def test_checkpoint_key_mismatch_and_corruption_are_ignored(tmp_path):
     assert stats.counter("campaign_tasks_resumed") == 0
 
 
+def test_checkpoint_write_failure_is_counted_not_fatal(tmp_path,
+                                                       monkeypatch):
+    # A full disk (or unpicklable payload) mid-campaign must not kill
+    # the run — but it must show up in --stats instead of vanishing
+    # into a silent except, so operators learn resume is broken.
+    def broken_save(self, results):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(CampaignCheckpoint, "save", broken_save)
+    for workers in (1, 2):
+        stats = CampaignStats()
+        out = parallel_map(_plus_one, list(range(5)), workers=workers,
+                           stats=stats,
+                           checkpoint=CampaignCheckpoint(
+                               tmp_path / f"w{workers}.ckpt", key="demo"))
+        assert out == [1, 2, 3, 4, 5]
+        assert stats.counter("campaign_checkpoint_write_failures") >= 1
+        assert stats.counter("campaign_suppressed_errors") >= 1
+        assert stats.counter("campaign_checkpoint_saves") == 0
+
+
+def test_checkpoint_clear_failure_is_counted_not_fatal(tmp_path,
+                                                      monkeypatch):
+    def broken_clear(self):
+        raise OSError("read-only filesystem")
+
+    monkeypatch.setattr(CampaignCheckpoint, "clear", broken_clear)
+    stats = CampaignStats()
+    out = parallel_map(_plus_one, [1, 2], workers=1, stats=stats,
+                       checkpoint=CampaignCheckpoint(
+                           tmp_path / "c.ckpt", key="demo"))
+    assert out == [2, 3]
+    assert stats.counter("campaign_suppressed_errors") == 1
+
+
 def test_faulted_datagen_campaign_is_bit_identical_to_fault_free(
         tmp_path, small_arch):
     config = CFG
