@@ -11,12 +11,16 @@
 # gate for the offline training pipeline (batched RFE scoring, sweep
 # cache, population replicas); it writes
 # benchmarks/results/BENCH_training_pipeline.json.
+# `fused-bench-smoke` is the fused-campaign perf gate: it asserts the
+# fused engine reproduces the serial grid byte-for-byte and beats the
+# process-pool fan-out >= 3x, and writes
+# benchmarks/results/BENCH_fused_sim.json.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow bench-smoke train-bench-smoke bench \
-	faults-smoke soak-smoke fleet-smoke
+.PHONY: test test-fast test-slow bench-smoke train-bench-smoke \
+	fused-bench-smoke bench faults-smoke soak-smoke fleet-smoke
 
 test-fast:
 	$(PYTHON) -m pytest -q -m "not slow"
@@ -24,9 +28,14 @@ test-fast:
 # Fault-injection smoke: a small sweep over every fault mode (including
 # 100% sensor dropout, which must engage the guard's fallback) plus the
 # resilience-focused test modules.  Zero unhandled exceptions expected.
+# The sweep runs twice — serial and fused — because faulty/guarded
+# wrappers take the engine's solo-decision path, which must survive the
+# same fault menu.
 faults-smoke:
 	$(PYTHON) -m repro.cli faults --small --mode all --rates 0 1.0 \
 		--kernels 1 --duration-us 60 --stats
+	$(PYTHON) -m repro.cli faults --small --mode all --rates 0 1.0 \
+		--kernels 1 --duration-us 60 --stats --fused
 	$(PYTHON) -m pytest -q tests/test_faults.py tests/test_parallel.py
 
 # Chaos-soak smoke: self-trains a small pair through the dataset cache,
@@ -63,6 +72,12 @@ bench-smoke:
 
 train-bench-smoke:
 	$(PYTHON) -m pytest -q benchmarks/bench_training_pipeline.py --benchmark-disable
+
+fused-bench-smoke:
+	$(PYTHON) -m pytest -q tests/test_fused.py
+	$(PYTHON) -m pytest -q \
+		benchmarks/bench_sim_throughput.py::test_fused_campaign_speedup \
+		--benchmark-disable
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

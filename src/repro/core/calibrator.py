@@ -68,7 +68,8 @@ class Calibrator:
         n = len(counter_sets)
         width = self.extractor.width + 1
         buffer = self._raw_buffer
-        if buffer is None or buffer.shape[0] != n:
+        if (buffer is None or buffer.shape[0] != n
+                or not buffer.flags.writeable):
             buffer = self._raw_buffer = np.empty((n, width),
                                                  dtype=np.float64)
         self.extractor.extract_matrix(counter_sets, out=buffer[:, :-1])
@@ -79,6 +80,14 @@ class Calibrator:
         if bad:
             self.nonfinite_predictions += bad
         return np.maximum(0.0, predictions)
+
+    def __getstate__(self) -> dict:
+        # The scratch buffer is per-process state: dropping it keeps
+        # pickles lean and stops shared-memory transports from turning
+        # it into a read-only view.
+        state = self.__dict__.copy()
+        state["_raw_buffer"] = None
+        return state
 
     def predict_instructions(self, counters: CounterSet,
                              level: int) -> float:

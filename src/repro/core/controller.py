@@ -59,6 +59,7 @@ class SSMDVFSController(BasePolicy):
         self.name = f"ssmdvfs{tag}-p{int(round(preset * 100))}"
         self.working_preset = self.preset
         self._pending: list[tuple[int, float]] = []
+        self._fused_staged: tuple[int, list[int]] | None = None
         self._cumulative_predicted = 0.0
         self._cumulative_actual = 0.0
         self._log_bias = 0.0
@@ -88,6 +89,7 @@ class SSMDVFSController(BasePolicy):
         super().reset(simulator)
         self.working_preset = self.preset
         self._pending = []
+        self._fused_staged = None
         self._cumulative_predicted = 0.0
         self._cumulative_actual = 0.0
         self._log_bias = 0.0
@@ -188,40 +190,95 @@ class SSMDVFSController(BasePolicy):
                                and self.working_preset
                                <= self.min_preset + 1e-12)
 
-    def decide(self, record: EpochRecord):
-        """Calibrate, then pick each cluster's next operating point."""
+    # ------------------------------------------------------------------
+    # Fused-engine hooks.  The fused campaign engine splits ``decide``
+    # into three phases so the Decision-maker/Calibrator forward passes
+    # of *several co-simulated tasks* can be stacked into one batched
+    # call: ``fused_prepare`` runs calibration and stages this task's
+    # active-cluster rows, the engine concatenates rows across tasks
+    # (with each task's own working preset per row) and runs the model
+    # once, then ``fused_commit`` folds this task's slice of the
+    # predictions back into levels/pending state.  ``fused_fallback``
+    # completes a prepared decision solo — the path taken when the task
+    # cannot join a cross-task batch.  ``decide`` is exactly
+    # prepare → (own forward pass) → commit, so serial and fused runs
+    # share one code path and batching can never change semantics.
+    # Stacking is bit-identical because every model stage is rowwise
+    # (GEMMs, elementwise scaler/activations, per-row argmax) and each
+    # task always contributes >= 2 rows to a shared batch (BLAS takes a
+    # different single-row code path whose rounding differs by ~1 ULP).
+    def fused_prepare(self, record: EpochRecord):
+        """Calibrate and stage this epoch's batchable inference rows.
+
+        Returns the active-cluster :class:`CounterSet` rows to batch, or
+        ``None`` when the decision cannot join a cross-task batch (the
+        scalar non-per-cluster mode, or fewer than two active clusters —
+        single rows must run their own forward pass for bit-identity
+        with the serial path).  Exactly one of :meth:`fused_commit` /
+        :meth:`fused_fallback` must complete each prepared decision.
+        """
         if self.simulator is None:
             raise PolicyError("policy not bound to a simulator")
         self._calibrate(record)
         self.preset_trace.append(self.working_preset)
+        if not self.per_cluster:
+            return None
+        min_level = self.simulator.arch.vf_table.min_level
+        active_indices = [index for index, counters
+                          in enumerate(record.cluster_counters)
+                          if counters["inst_total"] > 0]
+        self._fused_staged = (min_level, active_indices)
+        if len(active_indices) < 2:
+            return None
+        return [record.cluster_counters[index] for index in active_indices]
+
+    def fused_commit(self, record: EpochRecord, predicted_levels,
+                     predicted_insts):
+        """Fold this task's slice of a batched prediction into levels."""
+        min_level, active_indices = self._fused_staged
+        self._fused_staged = None
+        levels = [min_level] * len(record.cluster_counters)
+        self._pending = []
+        for index, level, predicted in zip(
+                active_indices, predicted_levels, predicted_insts):
+            levels[index] = int(level)
+            self._pending.append((index, predicted))
+        return levels
+
+    def fused_fallback(self, record: EpochRecord):
+        """Complete a prepared decision without cross-task batching."""
         decision_maker = self.model.decision_maker
         calibrator = self.model.calibrator
+        if not self.per_cluster:
+            level = decision_maker.predict_level(record.counters,
+                                                 self.working_preset)
+            self._pending = [(0, calibrator.predict_instructions(
+                record.counters, level))]
+            return level
+        min_level, active_indices = self._fused_staged
+        self._fused_staged = None
+        levels = [min_level] * len(record.cluster_counters)
+        self._pending = []
+        if active_indices:
+            active_counters = [record.cluster_counters[index]
+                               for index in active_indices]
+            predicted_levels = decision_maker.predict_levels(
+                active_counters, self.working_preset)
+            predicted_insts = calibrator.predict_instructions_batch(
+                active_counters, predicted_levels)
+            for index, level, predicted in zip(
+                    active_indices, predicted_levels, predicted_insts):
+                levels[index] = level
+                self._pending.append((index, predicted))
+        return levels
 
-        if self.per_cluster:
-            # Split drained clusters (parked at the slowest point) from
-            # active ones, then run the Decision-maker and Calibrator
-            # over all active clusters as single batched forward passes.
-            min_level = self.simulator.arch.vf_table.min_level
-            active_indices = [index for index, counters
-                              in enumerate(record.cluster_counters)
-                              if counters["inst_total"] > 0]
-            levels = [min_level] * len(record.cluster_counters)
-            self._pending = []
-            if active_indices:
-                active_counters = [record.cluster_counters[index]
-                                   for index in active_indices]
-                predicted_levels = decision_maker.predict_levels(
-                    active_counters, self.working_preset)
-                predicted_insts = calibrator.predict_instructions_batch(
-                    active_counters, predicted_levels)
-                for index, level, predicted in zip(
-                        active_indices, predicted_levels, predicted_insts):
-                    levels[index] = level
-                    self._pending.append((index, predicted))
-            return levels
-
-        level = decision_maker.predict_level(record.counters,
-                                             self.working_preset)
-        self._pending = [(0, calibrator.predict_instructions(
-            record.counters, level))]
-        return level
+    def decide(self, record: EpochRecord):
+        """Calibrate, then pick each cluster's next operating point."""
+        rows = self.fused_prepare(record)
+        if rows is None:
+            return self.fused_fallback(record)
+        predicted_levels = self.model.decision_maker.predict_levels(
+            rows, self.working_preset)
+        predicted_insts = self.model.calibrator.predict_instructions_batch(
+            rows, predicted_levels)
+        return self.fused_commit(record, predicted_levels, predicted_insts)

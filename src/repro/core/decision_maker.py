@@ -49,17 +49,32 @@ class DecisionMaker:
         return self.scaler.transform(raw)
 
     def _input_matrix(self, counter_sets: list[CounterSet],
-                      preset: float) -> np.ndarray:
-        """Scaled (n, features + 1) input rows for a cluster batch."""
+                      preset) -> np.ndarray:
+        """Scaled (n, features + 1) input rows for a cluster batch.
+
+        ``preset`` is either one scalar broadcast to every row (the
+        per-cluster path within one simulation) or an ``(n,)`` array of
+        per-row presets (the fused engine batching clusters across
+        tasks, each task carrying its own working preset).
+        """
         n = len(counter_sets)
         width = self.extractor.width + 1
         buffer = self._raw_buffer
-        if buffer is None or buffer.shape[0] != n:
+        if (buffer is None or buffer.shape[0] != n
+                or not buffer.flags.writeable):
             buffer = self._raw_buffer = np.empty((n, width),
                                                  dtype=np.float64)
         self.extractor.extract_matrix(counter_sets, out=buffer[:, :-1])
         buffer[:, -1] = preset
         return self.scaler.transform(buffer)
+
+    def __getstate__(self) -> dict:
+        # The scratch buffer is per-process state: dropping it keeps
+        # pickles lean and stops shared-memory transports from turning
+        # it into a read-only view.
+        state = self.__dict__.copy()
+        state["_raw_buffer"] = None
+        return state
 
     def predict_level(self, counters: CounterSet, preset: float) -> int:
         """The V/f level for the next epoch."""
@@ -69,11 +84,15 @@ class DecisionMaker:
         return int(self.model.predict_class(x[None, :])[0])
 
     def predict_levels(self, counter_sets: list[CounterSet],
-                       preset: float) -> list[int]:
-        """Per-cluster prediction as one (n, features) forward pass."""
+                       preset) -> list[int]:
+        """Per-cluster prediction as one (n, features) forward pass.
+
+        ``preset`` may be a scalar (broadcast) or per-row array — see
+        :meth:`_input_matrix`.
+        """
         if not counter_sets:
             raise PolicyError("no counters given")
-        if preset < 0:
+        if np.any(np.asarray(preset) < 0):
             raise PolicyError("preset cannot be negative")
         rows = self._input_matrix(counter_sets, preset)
         return [int(v) for v in self.model.predict_class(rows)]

@@ -125,28 +125,50 @@ class DVFSDataset:
     @classmethod
     def from_breakpoints(cls, breakpoints: list[BreakpointSamples]
                          ) -> "DVFSDataset":
-        """Flatten protocol output into a dataset."""
+        """Flatten protocol output into a dataset.
+
+        Assembly is a two-pass stream: a counting pass sizes the final
+        arrays, then rows are written straight into the preallocated
+        buffers.  Large generation campaigns used to build Python lists
+        of per-row vectors and ``np.stack`` them at the end — peak
+        memory of roughly twice the dataset plus one object header per
+        row; streaming keeps exactly one copy.  Values and dtypes are
+        identical to the list-based assembly (float64 counter rows,
+        int64 indices), so cached artefacts and merge offsets are
+        unaffected.
+        """
         if not breakpoints:
             raise DatasetError("no breakpoints supplied")
-        counter_rows, kernel_names, groups = [], [], []
-        sample_bp, levels, losses, instrs = [], [], [], []
+        num_rows = 0
+        num_samples = 0
+        for bp in breakpoints:
+            variants = len(bp.feature_variants) or 1
+            num_rows += variants
+            num_samples += variants * len(bp.levels)
+        counters = np.empty((num_rows, len(COUNTER_NAMES)), dtype=np.float64)
+        groups = np.empty(num_rows, dtype=np.int64)
+        kernel_names: list[str] = []
+        sample_bp = np.empty(num_samples, dtype=np.int64)
+        levels = np.empty(num_samples, dtype=np.int64)
+        losses = np.empty(num_samples, dtype=np.float64)
+        instrs = np.empty(num_samples, dtype=np.float64)
+        row = sample = 0
         for group, bp in enumerate(breakpoints):
-            variants = bp.feature_variants or [
+            bp_variants = bp.feature_variants or [
                 (max(bp.levels), bp.feature_counters)]
-            for _, counters in variants:
-                row = len(counter_rows)
-                counter_rows.append(counters.as_vector())
+            n = len(bp.levels)
+            for _, counter_set in bp_variants:
+                counters[row] = counter_set.as_vector()
                 kernel_names.append(bp.kernel_name)
-                groups.append(group)
-                for level, loss, instr in zip(bp.levels, bp.losses,
-                                              bp.window_instructions):
-                    sample_bp.append(row)
-                    levels.append(level)
-                    losses.append(loss)
-                    instrs.append(instr)
-        return cls(np.stack(counter_rows), kernel_names, np.array(sample_bp),
-                   np.array(levels), np.array(losses), np.array(instrs),
-                   record_group=np.array(groups))
+                groups[row] = group
+                sample_bp[sample:sample + n] = row
+                levels[sample:sample + n] = bp.levels
+                losses[sample:sample + n] = bp.losses
+                instrs[sample:sample + n] = bp.window_instructions
+                sample += n
+                row += 1
+        return cls(counters, kernel_names, sample_bp, levels, losses, instrs,
+                   record_group=groups)
 
     @classmethod
     def merge(cls, datasets: list["DVFSDataset"]) -> "DVFSDataset":

@@ -28,7 +28,11 @@ import numpy as np
 
 from ..errors import DatasetError, SimulationError
 from ..gpu.arch import GPUArchConfig
+from ..gpu.cluster import step_vector_for
 from ..gpu.counters import CounterSet
+from ..gpu.fused import (SharedContextCache, dump_shared, fuse_groups,
+                         release_shared)
+from ..gpu.interval_model import SolutionCache
 from ..gpu.kernels import KernelProfile
 from ..gpu.simulator import DEFAULT_EPOCH_S, GPUSimulator
 from ..parallel import CampaignCheckpoint, CampaignStats, parallel_map
@@ -213,7 +217,8 @@ def collect_breakpoint(simulator: GPUSimulator, breakpoint_index: int,
 def generate_for_kernel(kernel: KernelProfile, arch: GPUArchConfig,
                         power_model: PowerModel | None = None,
                         config: ProtocolConfig | None = None,
-                        stats: CampaignStats | None = None
+                        stats: CampaignStats | None = None,
+                        solution_cache: SolutionCache | None = None
                         ) -> list[BreakpointSamples]:
     """Run the full protocol over one kernel.
 
@@ -221,11 +226,16 @@ def generate_for_kernel(kernel: KernelProfile, arch: GPUArchConfig,
     solution-cache counters as ``solve_cache_hit`` / ``solve_cache_miss``
     — the replay protocol re-executes each workload stretch at up to
     seven operating points, which is where the hits come from.
+    ``solution_cache`` shares one solve cache *across* kernels (the
+    fused generation path); cache keys capture every solver input
+    bit-exactly, so sharing never changes the samples, only hit rates —
+    the caller then owns hit/miss accounting.
     """
     config = config or ProtocolConfig()
     simulator = GPUSimulator(arch, kernel, power_model or PowerModel(),
                              seed=config.seed, epoch_s=config.epoch_s,
-                             use_solution_cache=config.use_solution_cache)
+                             use_solution_cache=config.use_solution_cache,
+                             solution_cache=solution_cache)
     simulator.set_all_levels(arch.vf_table.default_level)
     breakpoints: list[BreakpointSamples] = []
     # Keep a margin so every replay has room to reach its workload mark
@@ -298,6 +308,45 @@ def _kernel_task(task: tuple) -> tuple[list[BreakpointSamples], dict[str, int]]:
     return chunk, local.counters
 
 
+#: Per-process cache of shared generation contexts, so a pool worker
+#: attaches/unpickles each campaign's shared context once, not per group.
+_DATAGEN_CONTEXTS = SharedContextCache()
+
+
+def _fused_kernel_group(task: tuple
+                        ) -> tuple[list[list[BreakpointSamples]],
+                                   dict[str, int]]:
+    """Process-pool unit of a fused generation campaign: one kernel group.
+
+    ``task`` is ``(context_ref, kernel_indices)``; the context (scaled
+    kernel suite, arch, power model, protocol config) is shipped once
+    per campaign via shared memory and each group entry is just an
+    index into it.  Kernels in a group run sequentially but share one
+    :class:`SolutionCache` — the six-way V/f replays of different
+    kernels hit the same interval-model solves, and cache keys are
+    bit-exact, so the samples are identical to the serial path.
+    Hit/miss counters are accounted once per group (the shared cache's
+    totals), not per kernel.
+    """
+    ref, kernel_indices = task
+    context = _DATAGEN_CONTEXTS.get(ref)
+    kernels = context["kernels"]
+    config = context["config"]
+    shared_cache = (SolutionCache(payload_builder=step_vector_for)
+                    if config.use_solution_cache else None)
+    chunks = []
+    for kernel_index in kernel_indices:
+        chunks.append(generate_for_kernel(
+            kernels[kernel_index], context["arch"], context["power_model"],
+            config, solution_cache=shared_cache))
+    local = CampaignStats()
+    if shared_cache is not None:
+        local.count("solve_cache_hit", shared_cache.hits)
+        local.count("solve_cache_miss", shared_cache.misses)
+    local.count("fused_tasks", len(list(kernel_indices)))
+    return chunks, local.counters
+
+
 def generate_chunks_for_suite(kernels: list[KernelProfile],
                               arch: GPUArchConfig,
                               power_model: PowerModel | None = None,
@@ -307,7 +356,9 @@ def generate_chunks_for_suite(kernels: list[KernelProfile],
                               stats: CampaignStats | None = None,
                               checkpoint: CampaignCheckpoint | None = None,
                               retries: int = 2,
-                              timeout_s: float | None = None
+                              timeout_s: float | None = None,
+                              fused: bool = False,
+                              fuse_width: int = 8
                               ) -> list[list[BreakpointSamples]]:
     """Run the protocol over a suite, one breakpoint chunk per kernel.
 
@@ -318,18 +369,50 @@ def generate_chunks_for_suite(kernels: list[KernelProfile],
     flattening the chunks reproduces the serial output bit for bit.
     ``checkpoint``/``retries``/``timeout_s`` configure the resilient
     fan-out (see :func:`repro.parallel.parallel_map`).
+
+    ``fused=True`` groups ``fuse_width`` consecutive kernels per worker
+    task: the suite context ships to the pool once via shared memory
+    and each group shares one interval-solution cache across its
+    kernels.  Output is bit-identical to the serial path; only the
+    solve hit rate and transport cost change.  Fused and non-fused
+    checkpoints are incompatible (group- vs kernel-shaped results) —
+    callers namespace the checkpoint key accordingly.
     """
     if not kernels:
         raise DatasetError("no kernels given")
     config = config or ProtocolConfig()
-    tasks = []
+    scaled = []
     for kernel in kernels:
         if auto_scale:
             kernel = scale_kernel_for_protocol(kernel, arch, config)
-        tasks.append((kernel, arch, power_model, config))
-    results = parallel_map(_kernel_task, tasks, workers=workers, stats=stats,
-                           stage="datagen", checkpoint=checkpoint,
-                           retries=retries, timeout_s=timeout_s)
+        scaled.append(kernel)
+    if fused:
+        context = {"kernels": scaled, "arch": arch,
+                   "power_model": power_model, "config": config}
+        ref, block = dump_shared(context)
+        groups = fuse_groups(list(range(len(scaled))), fuse_width)
+        try:
+            group_results = parallel_map(
+                _fused_kernel_group, [(ref, group) for group in groups],
+                workers=workers, stats=stats, stage="datagen",
+                checkpoint=checkpoint, retries=retries, timeout_s=timeout_s)
+        finally:
+            release_shared(block)
+        results = []
+        for group_chunks, counters in group_results:
+            for chunk in group_chunks:
+                results.append((chunk, {}))
+            if stats is not None:
+                stats.merge_counters(counters)
+        if stats is not None:
+            stats.count("fused_groups", len(groups))
+            stats.count("fused_shared_bytes", ref.shared_bytes)
+    else:
+        tasks = [(kernel, arch, power_model, config) for kernel in scaled]
+        results = parallel_map(_kernel_task, tasks, workers=workers,
+                               stats=stats, stage="datagen",
+                               checkpoint=checkpoint, retries=retries,
+                               timeout_s=timeout_s)
     chunks = []
     for chunk, counters in results:
         chunks.append(chunk)
@@ -346,16 +429,19 @@ def generate_for_suite(kernels: list[KernelProfile], arch: GPUArchConfig,
                        config: ProtocolConfig | None = None,
                        auto_scale: bool = True,
                        workers: int | None = None,
-                       stats: CampaignStats | None = None
-                       ) -> list[BreakpointSamples]:
+                       stats: CampaignStats | None = None,
+                       fused: bool = False,
+                       fuse_width: int = 8) -> list[BreakpointSamples]:
     """Run the protocol over a full training suite.
 
     With ``auto_scale`` (default) kernels too short to host the
     configured number of breakpoints are repeated until they fit.
     ``workers`` fans the per-kernel campaigns out over a process pool;
-    the result is bit-identical to the serial pass for a fixed seed.
+    the result is bit-identical to the serial pass for a fixed seed
+    (``fused`` included — see :func:`generate_chunks_for_suite`).
     """
     chunks = generate_chunks_for_suite(kernels, arch, power_model, config,
                                        auto_scale=auto_scale, workers=workers,
-                                       stats=stats)
+                                       stats=stats, fused=fused,
+                                       fuse_width=fuse_width)
     return [bp for chunk in chunks for bp in chunk]

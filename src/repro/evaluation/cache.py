@@ -61,7 +61,9 @@ def cached_comparison(cache_dir: str | Path,
                       stats: CampaignStats | None = None,
                       use_cache: bool = True, checkpoint: bool = False,
                       retries: int = 2,
-                      timeout_s: float | None = None) -> ComparisonResult:
+                      timeout_s: float | None = None,
+                      fused: bool = False,
+                      fuse_width: int = 8) -> ComparisonResult:
     """Load a policy × kernel grid from cache, running it on miss.
 
     Counters ``comparison_cache_hit`` / ``comparison_cache_miss`` land
@@ -71,6 +73,13 @@ def cached_comparison(cache_dir: str | Path,
     ``checkpoint=True`` persists per-run progress next to the cache
     file (``grid-<key>.ckpt``) so an interrupted campaign resumes;
     ``retries``/``timeout_s`` tune the resilient fan-out.
+
+    ``fused``/``fuse_width`` run the grid through the fused campaign
+    engine.  The *result* is bit-identical, so fused and serial runs
+    share one cache file; checkpoints are **not** shared — a serial
+    checkpoint stores per-run outcomes while a fused one stores
+    per-group outcomes — so the checkpoint key and file are namespaced
+    with the fused configuration.
     """
     stats = stats if stats is not None else CampaignStats()
     cache_dir = Path(cache_dir)
@@ -92,13 +101,16 @@ def cached_comparison(cache_dir: str | Path,
             stats.count("comparison_cache_hit")
             return result
     stats.count("comparison_cache_miss")
-    ckpt = (CampaignCheckpoint(cache_dir / f"grid-{key}.ckpt", key=key)
+    ckpt_suffix = f".fused{fuse_width}" if fused else ""
+    ckpt = (CampaignCheckpoint(cache_dir / f"grid-{key}{ckpt_suffix}.ckpt",
+                               key=f"{key}{ckpt_suffix}")
             if checkpoint else None)
     result = compare_policies(policy_factories, kernels, arch, preset,
                               power_model, seed=seed, epoch_s=epoch_s,
                               workers=workers, stats=stats,
                               checkpoint=ckpt, retries=retries,
-                              timeout_s=timeout_s)
+                              timeout_s=timeout_s,
+                              fused=fused, fuse_width=fuse_width)
     # Atomic write: a kill mid-save must leave either the previous grid
     # or the new one, never a torn JSON the next run discards.
     atomic_write_text(path, json.dumps(result.to_payload()))

@@ -14,6 +14,10 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..gpu.arch import GPUArchConfig
+from ..gpu.cluster import step_vector_for
+from ..gpu.fused import (FusedCampaignEngine, SharedContextCache,
+                         dump_shared, fuse_groups, release_shared)
+from ..gpu.interval_model import SolutionCache
 from ..gpu.kernels import KernelProfile
 from ..gpu.simulator import GPUSimulator
 from ..parallel import CampaignCheckpoint, CampaignStats, parallel_map
@@ -144,6 +148,58 @@ def _policy_task(task: tuple) -> tuple[float, float, int, dict[str, int]]:
     return time_s, energy_j, epochs, counters
 
 
+#: Per-process cache of shared evaluation contexts, so a pool worker
+#: attaches/unpickles each campaign's shared weights once, not per group.
+_EVAL_CONTEXTS = SharedContextCache()
+
+
+def _fused_eval_group(task: tuple) -> tuple[list, dict[str, int]]:
+    """Process-pool unit of a fused evaluation campaign: one task group.
+
+    ``task`` is ``(context_ref, entries)`` where the context (policy
+    factories, kernels, arch, power model — with model weights living
+    in shared memory) is shipped once per campaign and each entry is a
+    small ``(factory_index, kernel_index, seed, epoch_s)`` tuple.  The
+    group's simulators share one :class:`SolutionCache`, optionally
+    pre-warmed from the context, and advance in lockstep through the
+    fused engine.  Returns the serial-shaped per-task outcomes plus the
+    engine's ``fused_*`` counters.
+    """
+    ref, entries = task
+    context = _EVAL_CONTEXTS.get(ref)
+    factories = context["factories"]
+    kernels = context["kernels"]
+    shared_cache = SolutionCache(payload_builder=step_vector_for)
+    warm_entries = context.get("cache_entries")
+    if warm_entries:
+        shared_cache.import_entries(warm_entries)
+    engine = FusedCampaignEngine()
+    # One noise cache per group: every task replaying the same
+    # (kernel, seed) — the baseline plus each policy — shares the
+    # position-indexed noise tracks instead of regenerating them.
+    noise_cache: dict = {}
+    num_sim_clusters = 0
+    for position, (factory_index, kernel_index, seed, epoch_s) \
+            in enumerate(entries):
+        simulator = GPUSimulator(
+            context["arch"], kernels[kernel_index], context["power_model"],
+            seed=seed, epoch_s=epoch_s, solution_cache=shared_cache,
+            noise_cache=noise_cache)
+        num_sim_clusters += len(simulator.clusters)
+        engine.add_task(position, simulator, factories[factory_index](),
+                        keep_records=False)
+    engine._count("fused_noise_shared", num_sim_clusters - len(noise_cache))
+    results = engine.run()
+    outcomes = []
+    for task_state, result in zip(engine.tasks, results):
+        counters_fn = getattr(task_state.policy, "observability_counters",
+                              None)
+        counters = counters_fn() if callable(counters_fn) else {}
+        outcomes.append((result.time_s, result.energy_j, result.epochs,
+                         counters))
+    return outcomes, dict(engine.counters)
+
+
 def compare_policies(policy_factories: dict[str, callable],
                      kernels: list[KernelProfile], arch: GPUArchConfig,
                      preset: float,
@@ -154,7 +210,10 @@ def compare_policies(policy_factories: dict[str, callable],
                      stats: CampaignStats | None = None,
                      checkpoint: CampaignCheckpoint | None = None,
                      retries: int = 2,
-                     timeout_s: float | None = None) -> ComparisonResult:
+                     timeout_s: float | None = None,
+                     fused: bool = False,
+                     fuse_width: int = 8,
+                     cache_entries: dict | None = None) -> ComparisonResult:
     """Evaluate a set of policies over a kernel list.
 
     ``policy_factories`` maps display names to zero-argument callables
@@ -168,20 +227,60 @@ def compare_policies(policy_factories: dict[str, callable],
     ``calibration_anomalies``) are folded into ``stats``;
     ``checkpoint``/``retries``/``timeout_s`` configure the resilient
     fan-out (see :func:`repro.parallel.parallel_map`).
+
+    ``fused=True`` co-simulates consecutive runs of ``fuse_width``
+    tasks in lockstep through :class:`FusedCampaignEngine` — results
+    are bit-identical to the serial path (per-task RNG streams and
+    final-epoch truncation are preserved exactly) while sharing one
+    interval-solution cache per group, batching the counter build
+    across tasks and shipping model weights to worker processes once
+    via shared memory.  ``cache_entries`` optionally pre-warms each
+    group's solution cache from a prior run's
+    :meth:`SolutionCache.export_entries`.
     """
     power_model = power_model or PowerModel()
     names = list(policy_factories)
     baseline_factory = partial(StaticPolicy, arch.vf_table.default_level)
-    tasks = []
-    for kernel in kernels:
-        tasks.append((baseline_factory, kernel, arch, power_model, seed,
-                      epoch_s))
-        for name in names:
-            tasks.append((policy_factories[name], kernel, arch, power_model,
-                          seed, epoch_s))
-    outcomes = parallel_map(_policy_task, tasks, workers=workers, stats=stats,
-                            stage="evaluation", checkpoint=checkpoint,
-                            retries=retries, timeout_s=timeout_s)
+    if fused:
+        factories = [baseline_factory] + [policy_factories[name]
+                                          for name in names]
+        entries = []
+        for kernel_index in range(len(kernels)):
+            for factory_index in range(len(factories)):
+                entries.append((factory_index, kernel_index, seed, epoch_s))
+        context = {"factories": factories, "kernels": list(kernels),
+                   "arch": arch, "power_model": power_model}
+        if cache_entries:
+            context["cache_entries"] = cache_entries
+        ref, block = dump_shared(context)
+        groups = fuse_groups(entries, fuse_width)
+        try:
+            group_results = parallel_map(
+                _fused_eval_group, [(ref, group) for group in groups],
+                workers=workers, stats=stats, stage="evaluation",
+                checkpoint=checkpoint, retries=retries, timeout_s=timeout_s)
+        finally:
+            release_shared(block)
+        outcomes = []
+        for group_outcomes, fused_counters in group_results:
+            outcomes.extend(group_outcomes)
+            if stats is not None:
+                stats.merge_counters(fused_counters)
+        if stats is not None:
+            stats.count("fused_groups", len(groups))
+            stats.count("fused_shared_bytes", ref.shared_bytes)
+    else:
+        tasks = []
+        for kernel in kernels:
+            tasks.append((baseline_factory, kernel, arch, power_model, seed,
+                          epoch_s))
+            for name in names:
+                tasks.append((policy_factories[name], kernel, arch,
+                              power_model, seed, epoch_s))
+        outcomes = parallel_map(_policy_task, tasks, workers=workers,
+                                stats=stats, stage="evaluation",
+                                checkpoint=checkpoint, retries=retries,
+                                timeout_s=timeout_s)
 
     result = ComparisonResult(preset=preset)
     cursor = iter(outcomes)

@@ -42,6 +42,10 @@ from ..core.guarded import GuardedController
 from ..core.policy import ModelOraclePolicy, StaticPolicy
 from ..errors import FleetError
 from ..gpu.arch import GPUArchConfig
+from ..gpu.cluster import step_vector_for
+from ..gpu.fused import (FusedCampaignEngine, SharedContextCache,
+                         dump_shared, fuse_groups, release_shared)
+from ..gpu.interval_model import SolutionCache
 from ..gpu.simulator import DEFAULT_EPOCH_S, GPUSimulator
 from ..parallel import (CampaignCheckpoint, CampaignStats, derive_seed,
                         parallel_map)
@@ -115,6 +119,51 @@ def _simulate_job(task: tuple) -> tuple[float, float, int, float,
             counters)
 
 
+#: Per-process cache of shared fleet contexts, so a pool worker
+#: attaches/unpickles each campaign's shared weights once, not per group.
+_FLEET_CONTEXTS = SharedContextCache()
+
+
+def _fused_simulate_group(task: tuple) -> tuple[list[tuple], dict[str, int]]:
+    """Process-pool unit of a fused fleet phase 1: one job group.
+
+    ``task`` is ``(context_ref, entries)`` where the context (policy
+    factory, deduplicated kernel list, arch, power model, epoch length
+    — model weights in shared memory) ships once per campaign and each
+    entry is a small ``(kernel_index, seed)`` pair.  The group's jobs
+    co-simulate in lockstep through :class:`FusedCampaignEngine`,
+    sharing one interval-solution cache; each outcome is exactly what
+    :func:`_simulate_job` returns for that job, so phase 2's replay —
+    and the exported ``FleetResult`` — stay byte-identical.
+    """
+    ref, entries = task
+    context = _FLEET_CONTEXTS.get(ref)
+    factory = context["factory"]
+    kernels = context["kernels"]
+    shared_cache = SolutionCache(payload_builder=step_vector_for)
+    engine = FusedCampaignEngine()
+    for position, (kernel_index, seed) in enumerate(entries):
+        simulator = GPUSimulator(
+            context["arch"], kernels[kernel_index], context["power_model"],
+            seed=seed, epoch_s=context["epoch_s"],
+            solution_cache=shared_cache)
+        engine.add_task(position, simulator, factory(), keep_records=True)
+    results = engine.run()
+    outcomes = []
+    for task_state, result in zip(engine.tasks, results):
+        if result.records:
+            mean_level = float(np.mean([np.mean(r.levels)
+                                        for r in result.records]))
+        else:
+            mean_level = float(context["arch"].vf_table.default_level)
+        counters_fn = getattr(task_state.policy, "observability_counters",
+                              None)
+        counters = counters_fn() if callable(counters_fn) else {}
+        outcomes.append((result.time_s, result.energy_j, result.epochs,
+                         mean_level, counters))
+    return outcomes, dict(engine.counters)
+
+
 class ClusterScheduler:
     """Place an arrival trace onto N simulated GPUs, one policy per node."""
 
@@ -126,7 +175,8 @@ class ClusterScheduler:
                  workers: int | None = None,
                  stats: CampaignStats | None = None,
                  checkpoint: CampaignCheckpoint | None = None,
-                 retries: int = 2, timeout_s: float | None = None) -> None:
+                 retries: int = 2, timeout_s: float | None = None,
+                 fused: bool = False, fuse_width: int = 8) -> None:
         if num_nodes < 1:
             raise FleetError("a fleet needs at least one node")
         self.arch = arch
@@ -143,19 +193,61 @@ class ClusterScheduler:
         self.checkpoint = checkpoint
         self.retries = retries
         self.timeout_s = timeout_s
+        self.fused = fused
+        self.fuse_width = int(fuse_width)
 
     # ------------------------------------------------------------------
     def _simulate(self, jobs: Sequence[Job]) -> list[tuple]:
-        """Phase 1: per-job simulations through the campaign layer."""
-        tasks = [(self.factory, job.kernel, self.arch, self.power_model,
-                  derive_seed(self.seed, "fleet-job", job.job_id),
-                  self.epoch_s)
-                 for job in jobs]
-        outcomes = parallel_map(_simulate_job, tasks, workers=self.workers,
-                                stats=self.stats, stage="fleet-simulate",
-                                checkpoint=self.checkpoint,
-                                retries=self.retries,
-                                timeout_s=self.timeout_s)
+        """Phase 1: per-job simulations through the campaign layer.
+
+        With ``fused`` set, jobs co-simulate in lockstep groups of
+        ``fuse_width`` through the fused campaign engine; per-job
+        outcomes are bit-identical to the serial fan-out (same seeds,
+        same records), so the phase-2 replay and the exported fleet
+        result do not change byte for byte.
+        """
+        if self.fused:
+            kernels: list = []
+            kernel_index: dict[int, int] = {}
+            entries = []
+            for job in jobs:
+                index = kernel_index.get(id(job.kernel))
+                if index is None:
+                    index = kernel_index[id(job.kernel)] = len(kernels)
+                    kernels.append(job.kernel)
+                entries.append((index, derive_seed(self.seed, "fleet-job",
+                                                   job.job_id)))
+            context = {"factory": self.factory, "kernels": kernels,
+                       "arch": self.arch, "power_model": self.power_model,
+                       "epoch_s": self.epoch_s}
+            ref, block = dump_shared(context)
+            groups = fuse_groups(entries, self.fuse_width)
+            try:
+                group_results = parallel_map(
+                    _fused_simulate_group,
+                    [(ref, group) for group in groups],
+                    workers=self.workers, stats=self.stats,
+                    stage="fleet-simulate", checkpoint=self.checkpoint,
+                    retries=self.retries, timeout_s=self.timeout_s)
+            finally:
+                release_shared(block)
+            outcomes = []
+            for group_outcomes, fused_counters in group_results:
+                outcomes.extend(group_outcomes)
+                self.stats.merge_counters(fused_counters)
+            self.stats.count("fused_groups", len(groups))
+            self.stats.count("fused_shared_bytes", ref.shared_bytes)
+        else:
+            tasks = [(self.factory, job.kernel, self.arch, self.power_model,
+                      derive_seed(self.seed, "fleet-job", job.job_id),
+                      self.epoch_s)
+                     for job in jobs]
+            outcomes = parallel_map(_simulate_job, tasks,
+                                    workers=self.workers, stats=self.stats,
+                                    stage="fleet-simulate",
+                                    checkpoint=self.checkpoint,
+                                    retries=self.retries,
+                                    timeout_s=self.timeout_s)
         for *_, counters in outcomes:
             self.stats.merge_counters(counters)
         return outcomes

@@ -283,6 +283,33 @@ class SolutionCache:
         """Drop all memoised solutions (stats are kept)."""
         self._entries.clear()
 
+    def export_entries(self) -> dict[tuple, tuple]:
+        """Snapshot the memoised entries for transport to other caches.
+
+        Keys are plain value tuples (derived from the arch/phase fields
+        the solver reads, never object identities) and entries are
+        ``(solution, payload)`` pairs, so the export pickles cleanly and
+        imports into any cache regardless of which objects produced it.
+        """
+        return dict(self._entries)
+
+    def import_entries(self, entries: dict[tuple, tuple]) -> int:
+        """Warm this cache from another cache's :meth:`export_entries`.
+
+        Because keys capture every solver input bit-exactly, imported
+        entries can only ever turn misses into hits — they never change
+        a solve result.  Imports respect ``max_entries``; the number of
+        entries actually added is returned.
+        """
+        added = 0
+        for key, entry in entries.items():
+            if len(self._entries) >= self.max_entries:
+                break
+            if key not in self._entries:
+                self._entries[key] = entry
+                added += 1
+        return added
+
     def _key_for(self, memo: dict, obj, derive) -> tuple:
         cached = memo.get(id(obj))
         if cached is not None and cached[0] is obj:

@@ -115,7 +115,9 @@ class GPUSimulator:
                  power_model: PowerModel | None = None,
                  seed: int | None = None,
                  epoch_s: float = DEFAULT_EPOCH_S,
-                 use_solution_cache: bool = True) -> None:
+                 use_solution_cache: bool = True,
+                 solution_cache: SolutionCache | None = None,
+                 noise_cache: dict | None = None) -> None:
         if epoch_s <= 0:
             raise SimulationError("epoch length must be positive")
         self.arch = arch
@@ -137,17 +139,42 @@ class GPUSimulator:
         streams = StreamFactory() if seed is None else StreamFactory(seed)
         # One solution cache shared by every cluster: clusters running
         # the same kernel at the same operating point reuse each other's
-        # solves (and datagen replays reuse everything).
-        self.solution_cache = (SolutionCache(payload_builder=step_vector_for)
-                               if use_solution_cache else None)
+        # solves (and datagen replays reuse everything).  Passing
+        # ``solution_cache`` shares one cache *across* simulators — the
+        # fused campaign engine's cross-task reuse path.  Keys capture
+        # every solver input bit-exactly, so sharing never changes
+        # results, only hit rates.
+        if solution_cache is not None:
+            self.solution_cache: SolutionCache | None = solution_cache
+        else:
+            self.solution_cache = (
+                SolutionCache(payload_builder=step_vector_for)
+                if use_solution_cache else None)
         self.clusters: list[ClusterState] = []
         skew_rngs = {k.name: streams.get(f"skew.{k.name}") for k in kernels}
         for cid in range(arch.num_clusters):
             cluster_kernel = kernels[cid % len(kernels)]
-            noise = WorkloadNoise(
-                streams.get(f"noise.{cluster_kernel.name}.c{cid}"),
-                sigma=cluster_kernel.jitter,
-            )
+            # ``noise_cache`` shares WorkloadNoise objects *across*
+            # simulators with the same seed.  The key captures every
+            # input that determines a noise stream's values — the seed,
+            # the cluster slot, the kernel name (the stream name) and
+            # the jitter sigma — and tracks are position-indexed,
+            # append-only and generated sequentially from one RNG, so
+            # whichever co-simulated task extends the track first
+            # materialises exactly the values every sharer would have
+            # generated alone.  Sharing changes wall-clock, never bits.
+            noise = None
+            if noise_cache is not None and seed is not None:
+                noise_key = (seed, cid, cluster_kernel.name,
+                             cluster_kernel.jitter)
+                noise = noise_cache.get(noise_key)
+            if noise is None:
+                noise = WorkloadNoise(
+                    streams.get(f"noise.{cluster_kernel.name}.c{cid}"),
+                    sigma=cluster_kernel.jitter,
+                )
+                if noise_cache is not None and seed is not None:
+                    noise_cache[noise_key] = noise
             max_skew = max(1.0, cluster_kernel.phases[0].instructions * 0.25)
             skew = float(skew_rngs[cluster_kernel.name].uniform(0.0, max_skew))
             self.clusters.append(
@@ -381,10 +408,20 @@ class GPUSimulator:
     # Snapshots (for data-generation replay)
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Capture full replayable simulator state."""
+        """Capture full replayable simulator state.
+
+        The cluster snapshots cover every piece of mutable run state
+        (cursor position, operating point, pending transition charge);
+        the noise tracks are position-indexed and deterministic per
+        seed, so they need no capture — *provided* the restoring
+        simulator was built with the same seed.  The seed is therefore
+        recorded and validated on restore: a different-seed simulator
+        would silently replay different noise/skew streams.
+        """
         return {
             "kernel_name": self.workload_name,
             "epoch_s": self.epoch_s,
+            "seed": self.seed,
             "time_s": self.time_s,
             "epoch_index": self.epoch_index,
             "clusters": [c.snapshot() for c in self.clusters],
@@ -403,6 +440,13 @@ class GPUSimulator:
                 f"snapshot taken with epoch length {snapshot_epoch!r}, "
                 f"simulator runs {self.epoch_s!r}; resuming would silently "
                 "mix epoch timings"
+            )
+        snapshot_seed = state.get("seed", self.seed)
+        if snapshot_seed != self.seed:
+            raise SnapshotError(
+                f"snapshot taken with seed {snapshot_seed!r}, simulator "
+                f"built with {self.seed!r}; the noise/skew streams would "
+                "diverge and the replayed epoch stream would not match"
             )
         if len(state["clusters"]) != len(self.clusters):
             raise SnapshotError("snapshot cluster count mismatch")

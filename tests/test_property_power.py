@@ -70,6 +70,8 @@ def test_snapshot_restore_identity_on_random_kernels(seed):
     kernel = random_kernel(np.random.default_rng(seed), max_iterations=4)
     simulator = GPUSimulator(ARCH, kernel, PowerModel(), seed=seed)
     simulator.step_epoch()
+    if simulator.finished:
+        return  # kernel fit inside the first epoch: nothing to replay
     snapshot = simulator.snapshot()
     first = simulator.step_epoch()
     simulator.restore(snapshot)
