@@ -20,7 +20,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast test-slow bench-smoke train-bench-smoke \
-	fused-bench-smoke bench faults-smoke soak-smoke fleet-smoke
+	fused-bench-smoke bench faults-smoke soak-smoke fleet-smoke \
+	fleet-chaos-smoke
 
 test-fast:
 	$(PYTHON) -m pytest -q -m "not slow"
@@ -60,6 +61,19 @@ fleet-smoke:
 		--trace burst --policy governor --load 0.7 --stats \
 		--slo-gate 0.05 --export benchmarks/results/FLEET_smoke.json
 	$(PYTHON) -m pytest -q tests/test_fleet.py
+
+# Fleet-chaos smoke: randomized node-fault trains (crash, hang, thermal
+# runaway, sensor storms) against the fleet replay, with admission
+# control on.  The CLI exits non-zero if any fleet invariant breaks —
+# a job lost or double-counted, a seed whose export is not byte-stable
+# across worker counts, a node wedged in quarantine, or a latency-class
+# job admission-shed.  Crash-write torture hits the exported payload
+# through the artifact store.  Outside the tier-1 `test-fast` gate.
+fleet-chaos-smoke:
+	$(PYTHON) -m repro.cli fleet-chaos --small --nodes 4 --jobs 16 \
+		--trials 2 --seed 7 --store .cache/chaos-store --stats \
+		--export benchmarks/results/FLEET_chaos_smoke.json
+	$(PYTHON) -m pytest -q tests/test_fleet_resilience.py
 
 test:
 	$(PYTHON) -m pytest -q

@@ -114,3 +114,60 @@ def test_chaos_soak_gate(pipeline, arch, tmp_path, benchmark):
     # Benchmark: one verified read of the pair from the registry.
     store = ArtifactStore(tmp_path / "store")
     benchmark(lambda: store.get(SOAK_ARTIFACT))
+
+
+def test_fleet_resilience_gate(pipeline, arch, tmp_path, benchmark):
+    """Fleet leg: recovery and shed-rate gates under a fixed fault train.
+
+    Guarded per-node SSMDVFS controllers serve a bursty trace while a
+    seeded crash/hang/thermal/storm train hits the nodes.  The chaos
+    harness asserts conservation, byte-stable replay and shed
+    discipline; on top of that this gate pins fleet-level outcomes:
+    every quarantined node is re-admitted within its outage budget and
+    admission control sheds at most a third of the stream.  The guard
+    and drift counters from the per-node controllers must surface in
+    the exported campaign aggregate.
+    """
+    from repro.evaluation.fleet_chaos import (FleetChaosConfig,
+                                              run_fleet_chaos)
+    from repro.faults import NodeFaultConfig
+    from repro.fleet import policy_factory as fleet_policy
+    from _reporting import RESULTS_DIR, write_result
+
+    model = pipeline.model("pruned")
+    factory = fleet_policy("ssmdvfs-guarded", preset=PRESET, model=model)
+    config = FleetChaosConfig(
+        trace="burst", jobs=16, nodes=4, load=1.0, trials=2,
+        determinism_trials=1, seed=29,
+        faults=NodeFaultConfig(crash_rate=0.6, hang_rate=0.4,
+                               thermal_rate=0.4, storm_rate=0.4, seed=29),
+        crash_write_trials=8)
+    result = run_fleet_chaos(arch, factory, config,
+                             policy_name="ssmdvfs-guarded",
+                             store_root=tmp_path / "store")
+    write_result("fleet_resilience", result.render())
+    result.export_json(RESULTS_DIR / "BENCH_fleet_resilience.json")
+    assert result.passed, result.violations
+
+    # Recovery gate: timed outages resolve; no node ends wedged.
+    for trial in result.trials:
+        assert trial.still_quarantined == 0
+        assert trial.recoveries >= trial.quarantines
+    # Shed gate: load shedding stays a safety valve, not the service.
+    assert max(t.shed_rate for t in result.trials) <= 1 / 3
+    # Jobs are conserved in every trial and the first replay is
+    # byte-stable across worker counts.
+    assert all(t.conserved for t in result.trials)
+    assert result.trials[0].byte_stable is True
+    # Per-node guarded controllers surface their policy counters into
+    # the campaign aggregate (guard_*/drift_* appear once they trip;
+    # the calibration channel reports even when clean).
+    from repro.fleet.tracker import POLICY_COUNTER_PREFIXES
+    assert any(name.startswith(POLICY_COUNTER_PREFIXES)
+               for name in result.counters)
+
+    # Benchmark: seeded fault-train construction (the chaos hot path
+    # outside the replay itself).
+    from repro.faults import NodeFaultPlan
+    benchmark(lambda: NodeFaultPlan.build(config.faults, config.nodes,
+                                          1e-3))

@@ -365,6 +365,45 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def cmd_fleet_chaos(args) -> int:
+    """Batter the fleet replay with randomized node-fault trains.
+
+    Exits non-zero when any fleet invariant breaks: a job lost or
+    double-counted, a non-byte-stable export, a node wedged in
+    quarantine, a latency job shed by admission control, or a torn
+    read out of the crash-write torture."""
+    from .evaluation.fleet_chaos import FleetChaosConfig, run_fleet_chaos
+    from .faults import NodeFaultConfig
+    from .fleet import AdmissionConfig, policy_factory
+    arch = _arch(args)
+    stats = CampaignStats()
+    model = SSMDVFSModel.load(args.model) if args.model else None
+    factory = policy_factory(args.policy, preset=args.preset[0],
+                             model=model, level=args.level)
+    policy_name = (f"static-l{args.level}" if args.policy == "static"
+                   else args.policy)
+    config = FleetChaosConfig(
+        trace=args.trace, jobs=args.jobs, nodes=args.nodes,
+        load=args.load, trials=args.trials, seed=args.seed,
+        faults=NodeFaultConfig(
+            crash_rate=args.crash_rate, hang_rate=args.hang_rate,
+            thermal_rate=args.thermal_rate, storm_rate=args.storm_rate,
+            seed=args.seed),
+        admission=AdmissionConfig(enabled=not args.no_shedding,
+                                  slack_s=args.shed_slack_us * 1e-6),
+        crash_write_trials=args.crash_trials)
+    result = run_fleet_chaos(arch, factory, config,
+                             policy_name=policy_name,
+                             workers=args.workers, store_root=args.store,
+                             stats=stats)
+    print(result.render())
+    if args.export:
+        path = result.export_json(args.export)
+        print(f"exported -> {path}")
+    _print_stats(args, stats)
+    return 0 if result.passed else 1
+
+
 def cmd_store(args) -> int:
     """Inspect the artifact registry; optionally force a rollback."""
     from .errors import ArtifactCorrupt
@@ -585,6 +624,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the fleet result payload as JSON "
                         "(atomic, byte-stable per seed)")
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser("fleet-chaos",
+                       help="randomized node-fault trains over the fleet "
+                            "replay; exit 1 on invariant violation")
+    common(p, cache=False)
+    p.add_argument("--nodes", type=int, default=4,
+                   help="number of simulated GPUs in the fleet")
+    p.add_argument("--jobs", type=int, default=24,
+                   help="jobs per chaos trial")
+    p.add_argument("--trace", default="burst", choices=BUILTIN_TRACES,
+                   help="builtin arrival pattern")
+    p.add_argument("--load", type=float, default=1.1,
+                   help="offered load as a fraction of fleet capacity")
+    p.add_argument("--trials", type=int, default=3,
+                   help="randomized fault trains to replay")
+    p.add_argument("--policy", default="governor", choices=FLEET_POLICIES,
+                   help="per-node DVFS policy")
+    p.add_argument("--model", default=None,
+                   help="saved SSMDVFS model (required for ssmdvfs* "
+                        "policies)")
+    p.add_argument("--level", type=int, default=None,
+                   help="VF level for --policy static")
+    p.add_argument("--preset", type=float, nargs="+", default=[0.10])
+    p.add_argument("--crash-rate", type=float, default=0.5,
+                   help="expected node crashes per node per trial")
+    p.add_argument("--hang-rate", type=float, default=0.3,
+                   help="expected node hangs per node per trial")
+    p.add_argument("--thermal-rate", type=float, default=0.4,
+                   help="expected thermal-runaway events per node")
+    p.add_argument("--storm-rate", type=float, default=0.4,
+                   help="expected sensor-corruption storms per node")
+    p.add_argument("--no-shedding", action="store_true",
+                   help="disable admission control (every job is "
+                        "eventually served or stranded)")
+    p.add_argument("--shed-slack-us", type=float, default=0.0,
+                   help="grace past the deadline before a throughput "
+                        "job counts as unmeetable")
+    p.add_argument("--store", default=".cache/chaos-store",
+                   help="artifact-store root for the crash-write "
+                        "torture phase")
+    p.add_argument("--crash-trials", type=int, default=16,
+                   help="sampled kill offsets of the crash-write "
+                        "torture phase")
+    p.add_argument("--export", default=None,
+                   help="write the chaos result payload as JSON")
+    p.set_defaults(func=cmd_fleet_chaos)
 
     p = sub.add_parser("store",
                        help="inspect the artifact registry "

@@ -97,6 +97,16 @@ class FleetError(ReproError):
     below one)."""
 
 
+class FleetFaultError(FleetError):
+    """A node-level fault plan or fleet-resilience knob is invalid.
+
+    Raised for malformed :class:`~repro.faults.NodeFaultConfig` /
+    :class:`~repro.faults.NodeFaultEvent` descriptions (unknown fault
+    kinds, negative rates or durations, events aimed at nodes outside
+    the fleet) and for inconsistent migration or admission-control
+    configuration."""
+
+
 class GuardTripped(ReproError):
     """A runtime guard exceeded its trip budget with fallback disabled."""
 

@@ -135,6 +135,17 @@ _REGISTRY: tuple[ExperimentEntry, ...] = (
         extension=True,
     ),
     ExperimentEntry(
+        experiment_id="fleet-chaos",
+        title="Fleet resilience under node-fault trains (extension)",
+        paper_claim="(no job lost, byte-stable replay, bounded recovery "
+                    "under crash/hang/thermal/storm chaos)",
+        modules=("repro.evaluation.fleet_chaos", "repro.faults",
+                 "repro.fleet.tracker"),
+        bench="benchmarks/bench_robustness.py",
+        driver="repro.cli.cmd_fleet_chaos",
+        extension=True,
+    ),
+    ExperimentEntry(
         experiment_id="ablate-event-driven",
         title="Event-driven inference gating (extension)",
         paper_claim="(most per-epoch inferences are skippable at no cost)",

@@ -21,6 +21,15 @@ fault models the resilience work is tested against:
   marker files — the only channel that survives a killed worker.  It
   drives the retry/quarantine machinery of
   :func:`repro.parallel.parallel_map`.
+* :class:`NodeFaultPlan` — a seeded train of *node-level* events for
+  the fleet layer: whole-GPU crashes, hangs (progress stops until the
+  heartbeat watchdog notices), thermal runaway, and sensor-corruption
+  storms, each with a timed recovery.  The fleet scheduler's discrete-
+  event replay consumes the plan to drive its health FSM, checkpointed
+  job migration and load shedding
+  (:mod:`repro.fleet.scheduler`), and the ``repro-ssmdvfs
+  fleet-chaos`` harness asserts fleet invariants under randomized
+  plans.
 
 Every fault draw is deterministic given the config seed *and* the run
 identity (:func:`derive_fault_seed` mixes in the workload name and
@@ -40,7 +49,7 @@ from pathlib import Path
 
 import numpy as np
 
-from .errors import FaultInjectionError
+from .errors import FaultInjectionError, FleetFaultError
 from .gpu.counters import NUM_COUNTERS, CounterSet
 from .gpu.simulator import EpochRecord, GPUSimulator
 from .parallel import derive_seed
@@ -264,6 +273,191 @@ def build_faulty_policy(factory, config: FaultConfig, *, guard: bool = True,
     if guard:
         inner = GuardedController(inner, **guard_kwargs)
     return FaultyPolicy(inner, config)
+
+
+# ---------------------------------------------------------------------------
+# Node-level fleet faults
+# ---------------------------------------------------------------------------
+
+#: Node-level fault kinds understood by the fleet replay.
+NODE_FAULT_KINDS = ("crash", "hang", "thermal", "sensor_storm")
+
+
+@dataclass(frozen=True, order=True)
+class NodeFaultEvent:
+    """One node-level event of a fleet fault train.
+
+    ``at_s`` is when the fault strikes (fleet simulation time),
+    ``duration_s`` how long the outage or degradation lasts before the
+    timed recovery.  ``magnitude`` is kind-specific: the temperature
+    spike in deg C for ``thermal``, the service-time stretch factor for
+    ``sensor_storm`` (the guarded controller rides its fallback through
+    the storm, so affected jobs run slower), and unused for ``crash`` /
+    ``hang``.  Ordering is by strike time with the node id and kind as
+    deterministic tie-breaks, which is the order the replay consumes.
+    """
+
+    at_s: float
+    node_id: int
+    kind: str
+    duration_s: float
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in NODE_FAULT_KINDS:
+            raise FleetFaultError(
+                f"unknown node fault kind {self.kind!r}; "
+                f"expected one of {NODE_FAULT_KINDS}")
+        if self.at_s < 0:
+            raise FleetFaultError("a fault cannot strike before t=0")
+        if self.node_id < 0:
+            raise FleetFaultError("node_id cannot be negative")
+        if self.duration_s <= 0:
+            raise FleetFaultError("fault duration must be positive")
+        if self.magnitude <= 0:
+            raise FleetFaultError("fault magnitude must be positive")
+
+    @property
+    def recovery_s(self) -> float:
+        """When the timed recovery fires."""
+        return self.at_s + self.duration_s
+
+    def to_payload(self) -> dict:
+        """JSON-ready dict."""
+        return {"at_s": self.at_s, "node_id": self.node_id,
+                "kind": self.kind, "duration_s": self.duration_s,
+                "magnitude": self.magnitude}
+
+
+#: The per-kind rate knobs of :class:`NodeFaultConfig`.
+_NODE_RATE_FIELDS = ("crash_rate", "hang_rate", "thermal_rate",
+                     "storm_rate")
+
+
+@dataclass(frozen=True)
+class NodeFaultConfig:
+    """Declarative description of one fleet-level fault scenario.
+
+    Each ``*_rate`` is the *expected number of events of that kind per
+    node over the plan horizon* (a Poisson intensity, so a rate of 0.5
+    over 16 nodes draws ~8 events).  Outage durations are drawn
+    exponentially with mean ``mean_outage_s``, floored at
+    ``min_outage_s``.  ``thermal_spike_c`` is the injected temperature
+    rise of a thermal-runaway event and ``storm_slowdown`` the service
+    stretch a sensor-corruption storm imposes on jobs dispatched into
+    it (the guard pins its fallback level, trading speed for safety).
+    All draws come from one stream derived from ``seed``.
+    """
+
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    thermal_rate: float = 0.0
+    storm_rate: float = 0.0
+    mean_outage_s: float = 300e-6
+    min_outage_s: float = 30e-6
+    thermal_spike_c: float = 45.0
+    storm_slowdown: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in _NODE_RATE_FIELDS:
+            rate = getattr(self, name)
+            if rate < 0:
+                raise FleetFaultError(
+                    f"{name} cannot be negative, got {rate!r}")
+        if self.min_outage_s <= 0 or self.mean_outage_s < self.min_outage_s:
+            raise FleetFaultError(
+                "outage durations need 0 < min_outage_s <= mean_outage_s")
+        if self.thermal_spike_c <= 0:
+            raise FleetFaultError("thermal_spike_c must be positive")
+        if self.storm_slowdown < 1.0:
+            raise FleetFaultError(
+                "storm_slowdown must be >= 1 (a storm cannot speed "
+                "jobs up)")
+
+    @property
+    def any_active(self) -> bool:
+        """True if at least one fault rate is non-zero."""
+        return any(getattr(self, name) > 0.0
+                   for name in _NODE_RATE_FIELDS)
+
+    def with_seed(self, seed: int) -> "NodeFaultConfig":
+        """The same scenario under a different fault stream."""
+        return replace(self, seed=int(seed))
+
+
+class NodeFaultPlan:
+    """A deterministic, time-ordered train of node-level fault events.
+
+    Built once per fleet replay from a :class:`NodeFaultConfig`; the
+    same ``(config, num_nodes, horizon_s)`` triple always yields the
+    identical event train, which is what keeps a faulted fleet replay
+    byte-reproducible at any worker count.
+    """
+
+    def __init__(self, events: list[NodeFaultEvent] | tuple = ()) -> None:
+        self.events: tuple[NodeFaultEvent, ...] = tuple(sorted(events))
+
+    @classmethod
+    def build(cls, config: NodeFaultConfig, num_nodes: int,
+              horizon_s: float) -> "NodeFaultPlan":
+        """Draw a seeded fault train for ``num_nodes`` over ``horizon_s``."""
+        if num_nodes < 1:
+            raise FleetFaultError("a fault plan needs at least one node")
+        if horizon_s <= 0:
+            raise FleetFaultError("plan horizon must be positive")
+        rng = np.random.default_rng(derive_fault_seed(
+            config.seed, "node-plan", num_nodes))
+        events: list[NodeFaultEvent] = []
+        kind_rates = (("crash", config.crash_rate),
+                      ("hang", config.hang_rate),
+                      ("thermal", config.thermal_rate),
+                      ("sensor_storm", config.storm_rate))
+        for kind, rate in kind_rates:
+            count = int(rng.poisson(rate * num_nodes)) if rate > 0 else 0
+            for _ in range(count):
+                at_s = float(rng.uniform(0.0, horizon_s))
+                node_id = int(rng.integers(num_nodes))
+                duration = max(config.min_outage_s, float(rng.exponential(
+                    config.mean_outage_s)))
+                if kind == "thermal":
+                    magnitude = config.thermal_spike_c
+                elif kind == "sensor_storm":
+                    magnitude = config.storm_slowdown
+                else:
+                    magnitude = 1.0
+                events.append(NodeFaultEvent(
+                    at_s=at_s, node_id=node_id, kind=kind,
+                    duration_s=duration, magnitude=magnitude))
+        return cls(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def validate_for(self, num_nodes: int) -> None:
+        """Raise if any event targets a node outside ``[0, num_nodes)``."""
+        for event in self.events:
+            if event.node_id >= num_nodes:
+                raise FleetFaultError(
+                    f"fault event targets node {event.node_id} but the "
+                    f"fleet has only {num_nodes} nodes")
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """``{kind: event count}`` over the whole train."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def to_payload(self) -> list[dict]:
+        """JSON-ready event list in replay order."""
+        return [event.to_payload() for event in self.events]
 
 
 # ---------------------------------------------------------------------------
