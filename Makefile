@@ -15,13 +15,17 @@
 # fused engine reproduces the serial grid byte-for-byte and beats the
 # process-pool fan-out >= 3x, and writes
 # benchmarks/results/BENCH_fused_sim.json.
+# `quantum-bench-smoke` is the vectorised-quantum-kernel perf gate: it
+# asserts the batched epoch engine and the fused V/f-grid replay are
+# byte-identical to the scalar hot path and beat it >= 2.5x / >= 2x,
+# and writes benchmarks/results/BENCH_quantum_kernel.json.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast test-slow bench-smoke train-bench-smoke \
-	fused-bench-smoke bench faults-smoke soak-smoke fleet-smoke \
-	fleet-chaos-smoke
+	fused-bench-smoke quantum-bench-smoke bench faults-smoke soak-smoke \
+	fleet-smoke fleet-chaos-smoke
 
 test-fast:
 	$(PYTHON) -m pytest -q -m "not slow"
@@ -91,6 +95,12 @@ fused-bench-smoke:
 	$(PYTHON) -m pytest -q tests/test_fused.py
 	$(PYTHON) -m pytest -q \
 		benchmarks/bench_sim_throughput.py::test_fused_campaign_speedup \
+		--benchmark-disable
+
+quantum-bench-smoke:
+	$(PYTHON) -m pytest -q tests/test_quantum.py
+	$(PYTHON) -m pytest -q \
+		benchmarks/bench_sim_throughput.py::test_quantum_kernel_speedup \
 		--benchmark-disable
 
 bench:

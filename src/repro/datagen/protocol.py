@@ -28,11 +28,12 @@ import numpy as np
 
 from ..errors import DatasetError, SimulationError
 from ..gpu.arch import GPUArchConfig
-from ..gpu.cluster import step_vector_for
-from ..gpu.counters import CounterSet
+from ..gpu.cluster import build_counters_matrix, quantum_row_for
+from ..gpu.counters import COUNTER_INDEX, CounterSet
 from ..gpu.fused import (SharedContextCache, dump_shared, fuse_groups,
                          release_shared)
 from ..gpu.interval_model import SolutionCache
+from ..gpu.quantum import run_epoch_batch
 from ..gpu.kernels import KernelProfile
 from ..gpu.simulator import DEFAULT_EPOCH_S, GPUSimulator
 from ..parallel import CampaignCheckpoint, CampaignStats, parallel_map
@@ -57,6 +58,17 @@ class ProtocolConfig:
     #: inputs/outputs); the flag exists for benchmarking and as a
     #: diagnostic escape hatch.
     use_solution_cache: bool = True
+    #: Replay the whole V/f grid per breakpoint in lockstep: one lane
+    #: simulator per operating point, advanced through one batched
+    #: quantum-kernel call per epoch, with the shared feature window
+    #: solved once instead of once per grid point.  Output is
+    #: bit-identical to the serial six-way replay; the flags exist for
+    #: benchmarking and as diagnostic escape hatches.
+    fused_grid: bool = True
+    #: Run lane/simulator epochs through the vectorised quantum kernel
+    #: (:func:`repro.gpu.quantum.run_epoch_batch`) instead of the scalar
+    #: per-cluster loop.
+    vectorized_quanta: bool = True
 
     def __post_init__(self) -> None:
         if self.epoch_s <= 0:
@@ -133,14 +145,46 @@ def _time_to_reach_mark(simulator: GPUSimulator, target: float,
     return elapsed
 
 
+def _finalize_samples(samples: BreakpointSamples, default_level: int,
+                      config: ProtocolConfig) -> BreakpointSamples:
+    """Turn raw replay durations into the canonical loss labels."""
+    # T0 is the default-level replay's duration (loss 0 by construction).
+    try:
+        default_idx = samples.levels.index(default_level)
+    except ValueError as exc:
+        raise DatasetError("default level missing from replay set") from exc
+    samples.t0_s = samples.tf_s[default_idx]
+    samples.segment_losses = [(tf - samples.t0_s) / samples.t0_s
+                              for tf in samples.tf_s]
+    # Window-normalised labels: excess time (with delayed effects) over
+    # the reference duration of the one epoch that was rescaled.
+    samples.losses = [(tf - samples.t0_s) / config.epoch_s
+                      for tf in samples.tf_s]
+    return samples
+
+
 def collect_breakpoint(simulator: GPUSimulator, breakpoint_index: int,
-                       config: ProtocolConfig) -> BreakpointSamples:
+                       config: ProtocolConfig,
+                       lanes: list[GPUSimulator] | None = None,
+                       reference: tuple[float, dict] | None = None
+                       ) -> BreakpointSamples:
     """Run the six-way replay for the breakpoint at the current state.
 
     The simulator must be positioned at the breakpoint (all clusters at
     the default level) and is left at the end of the reference segment
-    so generation can continue to the next breakpoint.
+    so generation can continue to the next breakpoint.  ``lanes`` (one
+    spare simulator per operating point, see :func:`_grid_lanes`)
+    switches to the fused-grid replay, which advances the whole V/f grid
+    in lockstep through batched quantum-kernel calls; its output is
+    bit-identical to the serial path.  ``reference`` (fused path only)
+    hands in a precomputed ``(workload_mark, end_state)`` reference
+    segment — the generation loop's fit probe covers the same epochs, so
+    it shares them instead of replaying the segment here.
     """
+    if lanes is not None:
+        return _collect_breakpoint_fused(simulator, lanes,
+                                         breakpoint_index, config,
+                                         reference=reference)
     arch = simulator.arch
     default_level = arch.vf_table.default_level
     snapshot = simulator.snapshot()
@@ -183,18 +227,7 @@ def collect_breakpoint(simulator: GPUSimulator, breakpoint_index: int,
     if samples is None or not samples.levels:
         raise DatasetError("kernel too short for the requested breakpoint")
 
-    # T0 is the default-level replay's duration (loss 0 by construction).
-    try:
-        default_idx = samples.levels.index(default_level)
-    except ValueError as exc:
-        raise DatasetError("default level missing from replay set") from exc
-    samples.t0_s = samples.tf_s[default_idx]
-    samples.segment_losses = [(tf - samples.t0_s) / samples.t0_s
-                              for tf in samples.tf_s]
-    # Window-normalised labels: excess time (with delayed effects) over
-    # the reference duration of the one epoch that was rescaled.
-    samples.losses = [(tf - samples.t0_s) / config.epoch_s
-                      for tf in samples.tf_s]
+    _finalize_samples(samples, default_level, config)
 
     # Feature-window level augmentation: replay the feature window at
     # every operating point so the runtime counter distribution (the
@@ -208,6 +241,195 @@ def collect_breakpoint(simulator: GPUSimulator, breakpoint_index: int,
             simulator.set_all_levels(level)
             record = simulator.step_epoch()
             samples.feature_variants.append((level, record.counters.copy()))
+
+    # Leave the simulator at the end of the reference segment.
+    simulator.restore(end_state)
+    return samples
+
+
+def _grid_lanes(simulator: GPUSimulator) -> list[GPUSimulator]:
+    """One spare simulator per operating point for fused-grid replay.
+
+    Lanes are built from the same seed/kernel/arch as ``simulator`` so
+    restoring its snapshots into them replays bit-identically (noise
+    tracks are position-indexed per seed; the lanes additionally share
+    one noise cache so the tracks are materialised once).  The
+    interval-solution cache is shared with the driving simulator — the
+    grid replays the same workload stretch at every point, which is
+    exactly where the cross-lane hits come from.
+    """
+    noise_cache: dict = {}
+    kernel = (simulator.kernels if len(simulator.kernels) > 1
+              else simulator.kernel)
+    return [
+        GPUSimulator(simulator.arch, kernel, simulator.power_model,
+                     seed=simulator.seed, epoch_s=simulator.epoch_s,
+                     use_solution_cache=simulator.solution_cache is not None,
+                     solution_cache=simulator.solution_cache,
+                     noise_cache=noise_cache)
+        for _ in range(simulator.arch.vf_table.num_levels)
+    ]
+
+
+def _collect_breakpoint_fused(simulator: GPUSimulator,
+                              lanes: list[GPUSimulator],
+                              breakpoint_index: int,
+                              config: ProtocolConfig,
+                              reference: tuple[float, dict] | None = None
+                              ) -> BreakpointSamples:
+    """Six-way replay with the whole V/f grid advanced in lockstep.
+
+    Serial replay solves the grid one operating point at a time: for
+    each of the 6 points, restore, feature window, scaling window, then
+    a tail at the default point until the workload mark.  Here every
+    point gets a *lane* simulator restored from the same snapshot and
+    the grid advances epoch-by-epoch through one batched quantum-kernel
+    call over all lanes' clusters:
+
+    * the feature collection window is identical across grid points
+      (same state, same default level), so it is solved **once** on the
+      driving simulator and its end state is fanned out to the lanes;
+    * the scaling windows (one per point) run as a single
+      ``run_epoch_batch`` over ``levels x clusters`` rows;
+    * the tails run in lockstep, each lane dropping out as it reaches
+      the workload mark, with the serial path's sub-epoch interpolation
+      replicated exactly.
+
+    Lanes advance through the quantum kernel's advance-only mode — the
+    tail needs instruction positions, not power — which moves cluster
+    state bit-for-bit like a full epoch.  Labels, counters and the
+    driving simulator's end state are bit-identical to the serial path.
+    """
+    arch = simulator.arch
+    epoch_s = config.epoch_s
+    num_clusters = arch.num_clusters
+    default_level = arch.vf_table.default_level
+    num_levels = arch.vf_table.num_levels
+    snapshot = simulator.snapshot()
+
+    if reference is not None:
+        # The generation loop's fit probe already advanced through the
+        # reference segment and captured its span/end state.
+        workload_mark, end_state = reference
+    else:
+        # Reference segment: fixes the workload span and T0.
+        simulator.set_all_levels(default_level)
+        for _ in range(config.segment_epochs):
+            if simulator.finished:
+                break
+            simulator.step_epoch()
+        workload_mark = simulator.mean_instructions_done()
+        end_state = simulator.snapshot()
+
+    # Shared feature window: every grid point replays the identical
+    # default-level epoch from the breakpoint state.
+    simulator.restore(snapshot)
+    simulator.set_all_levels(default_level)
+    if simulator.finished:
+        raise DatasetError("breakpoint placed after kernel completion")
+    feature_record = simulator.step_epoch()
+    samples = BreakpointSamples(
+        kernel_name=simulator.kernel.name,
+        breakpoint_index=breakpoint_index,
+        feature_counters=feature_record.counters.copy(),
+        t0_s=0.0,
+    )
+    if simulator.finished:
+        # Serial path: the first grid iteration breaks before its
+        # scaling window, leaving the replay set empty.
+        raise DatasetError("kernel too short for the requested breakpoint")
+    after_feature = simulator.snapshot()
+
+    # Scaling windows: one batched epoch over every lane's clusters.
+    for level, lane in enumerate(lanes):
+        lane.restore(after_feature)
+        lane.set_all_levels(level)
+    scaling = run_epoch_batch(
+        [cluster for lane in lanes for cluster in lane.clusters],
+        epoch_s, accumulate=False)
+    window_instructions = [
+        sum(scaling.instructions[lv * num_clusters:
+                                 (lv + 1) * num_clusters].tolist())
+        for lv in range(num_levels)
+    ]
+
+    # Lockstep tails: every lane back at the default point until its
+    # replay reaches the workload mark (or the kernel drains).  The
+    # elapsed/interpolation arithmetic repeats _time_to_reach_mark's
+    # float sequence exactly.
+    for lane in lanes:
+        lane.set_all_levels(default_level)
+    tails = [0.0] * num_levels
+    elapsed = [0.0] * num_levels
+    live = [lv for lv in range(num_levels)
+            if not lanes[lv].finished
+            and lanes[lv].mean_instructions_done() < workload_mark]
+    epochs = 0
+    while live:
+        epochs += 1
+        if epochs > 10_000:
+            raise SimulationError("workload mark never reached")
+        before = [lanes[lv].mean_instructions_done() for lv in live]
+        run_epoch_batch(
+            [cluster for lv in live for cluster in lanes[lv].clusters],
+            epoch_s, accumulate=False)
+        still = []
+        for pos, lv in enumerate(live):
+            lane = lanes[lv]
+            after = lane.mean_instructions_done()
+            if after >= workload_mark:
+                progress = after - before[pos]
+                fraction = ((workload_mark - before[pos]) / progress
+                            if progress > 0 else 1.0)
+                tails[lv] = elapsed[lv] + fraction * epoch_s
+                continue
+            elapsed[lv] += epoch_s
+            tails[lv] = elapsed[lv]
+            if not lane.finished:
+                still.append(lv)
+        live = still
+
+    for level in range(num_levels):
+        samples.levels.append(level)
+        samples.window_instructions.append(
+            window_instructions[level] / num_clusters)
+        samples.tf_s.append(2 * epoch_s + tails[level])
+
+    _finalize_samples(samples, default_level, config)
+
+    # Feature-window level augmentation, batched across the non-default
+    # operating points: one quantum-kernel call over all variant lanes,
+    # then per-lane counter/power assembly on each lane's row slice
+    # (slice reductions are bit-identical to the standalone per-lane
+    # ones; power stays per-lane because its accumulation order depends
+    # on the row count BLAS sees).
+    samples.feature_variants = [(default_level, samples.feature_counters)]
+    if config.augment_feature_levels and num_levels > 1:
+        variant_levels = [lv for lv in range(num_levels)
+                          if lv != default_level]
+        for lv in variant_levels:
+            lane = lanes[lv]
+            lane.restore(snapshot)
+            lane.set_all_levels(lv)
+        result = run_epoch_batch(
+            [cluster for lv in variant_levels
+             for cluster in lanes[lv].clusters], epoch_s)
+        counters_matrix = build_counters_matrix(result.matrix, arch)
+        for j, lv in enumerate(variant_levels):
+            lane = lanes[lv]
+            start, stop = j * num_clusters, (j + 1) * num_clusters
+            dynamic_w, static_w, energy_j = (
+                lane.power_model.cluster_power_batch(
+                    None, matrix=result.matrix[start:stop],
+                    durations=lane._durations,
+                    voltages=lane._voltage_by_level[lane.levels]))
+            sub = counters_matrix[start:stop]
+            sub[:, COUNTER_INDEX["power_per_core"]] = dynamic_w + static_w
+            sub[:, COUNTER_INDEX["power_dynamic"]] = dynamic_w
+            sub[:, COUNTER_INDEX["power_static"]] = static_w
+            sub[:, COUNTER_INDEX["energy_epoch"]] = energy_j
+            samples.feature_variants.append(
+                (lv, CounterSet.from_vector(sub.mean(axis=0))))
 
     # Leave the simulator at the end of the reference segment.
     simulator.restore(end_state)
@@ -235,8 +457,14 @@ def generate_for_kernel(kernel: KernelProfile, arch: GPUArchConfig,
     simulator = GPUSimulator(arch, kernel, power_model or PowerModel(),
                              seed=config.seed, epoch_s=config.epoch_s,
                              use_solution_cache=config.use_solution_cache,
-                             solution_cache=solution_cache)
+                             solution_cache=solution_cache,
+                             vectorized=config.vectorized_quanta)
     simulator.set_all_levels(arch.vf_table.default_level)
+    # Fused-grid replay needs the batched quantum kernel (lanes advance
+    # through it); with a non-default cache payload the simulator falls
+    # back to the scalar loop and so does the grid.
+    lanes = (_grid_lanes(simulator)
+             if config.fused_grid and simulator._vectorized else None)
     breakpoints: list[BreakpointSamples] = []
     # Keep a margin so every replay has room to reach its workload mark
     # even at the slowest point (worst-case tail < 0.8x a segment).
@@ -244,22 +472,55 @@ def generate_for_kernel(kernel: KernelProfile, arch: GPUArchConfig,
     while (len(breakpoints) < config.max_breakpoints_per_kernel
            and not simulator.finished):
         # Probe whether a full segment (plus margin) fits from here.
+        # The probe only needs completion flags, so the vectorised path
+        # advances cluster state without accumulating activity or
+        # evaluating power; the state is restored either way.  Its
+        # first ``segment_epochs`` steps cover exactly the breakpoint's
+        # reference segment, so the fused path keeps the segment's time
+        # accounting (the same per-epoch float adds ``step_epoch``
+        # performs) and hands the span/end state to the replay instead
+        # of stepping those epochs again.
         probe = simulator.snapshot()
         fits = True
-        for _ in range(config.segment_epochs + margin):
-            if simulator.finished:
-                fits = False
-                break
-            simulator.step_epoch()
+        reference = None
+        if lanes is not None:
+            simulator.set_all_levels(arch.vf_table.default_level)
+            for _ in range(config.segment_epochs):
+                if simulator.finished:
+                    fits = False
+                    break
+                run_epoch_batch(simulator.clusters, simulator.epoch_s,
+                                accumulate=False)
+                simulator.time_s += simulator.epoch_s
+                simulator.epoch_index += 1
+            if fits:
+                reference = (simulator.mean_instructions_done(),
+                             simulator.snapshot())
+                for _ in range(margin):
+                    if simulator.finished:
+                        fits = False
+                        break
+                    run_epoch_batch(simulator.clusters, simulator.epoch_s,
+                                    accumulate=False)
+        else:
+            for _ in range(config.segment_epochs + margin):
+                if simulator.finished:
+                    fits = False
+                    break
+                simulator.step_epoch()
         simulator.restore(probe)
         if not fits:
             break
         breakpoints.append(
-            collect_breakpoint(simulator, len(breakpoints), config))
+            collect_breakpoint(simulator, len(breakpoints), config,
+                               lanes=lanes, reference=reference))
     cache = simulator.solution_cache
     if stats is not None and cache is not None:
         stats.count("solve_cache_hit", cache.hits)
         stats.count("solve_cache_miss", cache.misses)
+        stats.count("solve_cache_batch_hit", cache.batch_hits)
+        stats.count("solve_cache_batch_miss", cache.batch_misses)
+        stats.count("solve_cache_evictions", cache.evictions)
     return breakpoints
 
 
@@ -332,7 +593,7 @@ def _fused_kernel_group(task: tuple
     context = _DATAGEN_CONTEXTS.get(ref)
     kernels = context["kernels"]
     config = context["config"]
-    shared_cache = (SolutionCache(payload_builder=step_vector_for)
+    shared_cache = (SolutionCache(payload_builder=quantum_row_for)
                     if config.use_solution_cache else None)
     chunks = []
     for kernel_index in kernel_indices:
@@ -343,6 +604,9 @@ def _fused_kernel_group(task: tuple
     if shared_cache is not None:
         local.count("solve_cache_hit", shared_cache.hits)
         local.count("solve_cache_miss", shared_cache.misses)
+        local.count("solve_cache_batch_hit", shared_cache.batch_hits)
+        local.count("solve_cache_batch_miss", shared_cache.batch_misses)
+        local.count("solve_cache_evictions", shared_cache.evictions)
     local.count("fused_tasks", len(list(kernel_indices)))
     return chunks, local.counters
 

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..gpu.arch import GPUArchConfig
-from ..gpu.cluster import step_vector_for
+from ..gpu.cluster import quantum_row_for
 from ..gpu.fused import (FusedCampaignEngine, SharedContextCache,
                          dump_shared, fuse_groups, release_shared)
 from ..gpu.interval_model import SolutionCache
@@ -169,7 +169,7 @@ def _fused_eval_group(task: tuple) -> tuple[list, dict[str, int]]:
     context = _EVAL_CONTEXTS.get(ref)
     factories = context["factories"]
     kernels = context["kernels"]
-    shared_cache = SolutionCache(payload_builder=step_vector_for)
+    shared_cache = SolutionCache(payload_builder=quantum_row_for)
     warm_entries = context.get("cache_entries")
     if warm_entries:
         shared_cache.import_entries(warm_entries)

@@ -28,7 +28,10 @@ import numpy as np
 from ..errors import SimulationError
 from .arch import GPUArchConfig
 from .counters import COUNTER_NAMES, NUM_COUNTERS, CounterSet
-from .interval_model import SolutionCache, ThroughputSolution, solve_throughput
+from .interval_model import (PP_ACTIVE_WARPS, PP_CLASS_SLICE, PP_L1_MISS,
+                             PP_L2_MISS, PP_LOAD_FRAC, PP_STORE_FRAC,
+                             BatchSolution, SolutionCache, ThroughputSolution,
+                             solve_throughput)
 from .kernels import KernelCursor, KernelProfile
 from .noise import WorkloadNoise
 from .phases import INSTRUCTION_CLASSES
@@ -64,6 +67,16 @@ A_BW_UTIL_TIME = 28
 NUM_ACTIVITY_SLOTS = 29
 
 _CLASS_SLICE = slice(A_CLASS0, A_CLASS0 + _N_CLASSES)
+
+#: *Quantum rows* extend the activity step vector with the two solver
+#: outputs the epoch loop itself consumes — sustained IPC (stepping) and
+#: bandwidth utilisation (busy-time weighting) — so one cached row per
+#: solve serves both the scalar loop and the batched engine without
+#: touching :class:`~repro.gpu.interval_model.ThroughputSolution`
+#: objects on the hot path.
+QR_IPC = NUM_ACTIVITY_SLOTS        # 29
+QR_BW_UTIL = NUM_ACTIVITY_SLOTS + 1  # 30
+QROW_WIDTH = NUM_ACTIVITY_SLOTS + 2
 
 
 def step_vector_for(arch: GPUArchConfig, phase, solution: ThroughputSolution
@@ -105,6 +118,69 @@ def step_vector_for(arch: GPUArchConfig, phase, solution: ThroughputSolution
     v[A_WARP_INST] = phase.active_warps
     v[A_MEM_LATENCY] = solution.mem_latency_cycles
     return v
+
+
+def quantum_row_for(arch: GPUArchConfig, phase, solution: ThroughputSolution
+                    ) -> np.ndarray:
+    """Per-instruction quantum row of one (phase, solution).
+
+    The first :data:`NUM_ACTIVITY_SLOTS` entries are exactly
+    :func:`step_vector_for`; the trailing two carry the solution's IPC
+    and bandwidth utilisation.  This is the default
+    :class:`~repro.gpu.interval_model.SolutionCache` payload: both the
+    scalar epoch loop and the vectorised batch engine read it.
+    """
+    row = np.empty(QROW_WIDTH, dtype=np.float64)
+    row[:NUM_ACTIVITY_SLOTS] = step_vector_for(arch, phase, solution)
+    row[QR_IPC] = solution.ipc
+    row[QR_BW_UTIL] = solution.bandwidth_utilization
+    return row
+
+
+def quantum_rows_batch(arch: GPUArchConfig, params: np.ndarray,
+                       solutions: BatchSolution,
+                       out: np.ndarray | None = None) -> np.ndarray:
+    """Vectorised :func:`quantum_row_for` over a solved batch.
+
+    ``params`` is the ``(n, NUM_PHASE_PARAMS)`` phase-parameter matrix
+    the batch was solved from; every column replicates the scalar
+    builder's expression (elementwise ops only), so row ``j`` is
+    bit-identical to ``quantum_row_for`` on element ``j``.
+    """
+    n = params.shape[0]
+    rows = out if out is not None else np.empty((n, QROW_WIDTH),
+                                                dtype=np.float64)
+    cpi = solutions.cycles_per_instruction
+    rows[:, A_BUSY_S] = 0.0
+    rows[:, A_CYCLES] = cpi
+    rows[:, A_INSTRUCTIONS] = 1.0
+    rows[:, _CLASS_SLICE] = params[:, PP_CLASS_SLICE]
+    rows[:, A_ISSUE_SLOTS] = cpi * arch.issue_width
+    rows[:, A_STALL_MEM_LOAD] = solutions.stall_mem_load
+    rows[:, A_STALL_MEM_OTHER] = solutions.stall_mem_other
+    rows[:, A_STALL_CONTROL] = solutions.stall_control
+    rows[:, A_STALL_SYNC] = solutions.stall_sync
+    rows[:, A_STALL_DATA] = solutions.stall_data
+    rows[:, A_STALL_IDLE] = solutions.stall_idle
+    loads = params[:, PP_LOAD_FRAC]
+    stores = params[:, PP_STORE_FRAC]
+    l1_read_miss = loads * params[:, PP_L1_MISS]
+    l1_write_miss = stores * 0.9  # write-through-ish global stores
+    l2_access = l1_read_miss + l1_write_miss
+    l2_miss = l2_access * params[:, PP_L2_MISS]
+    rows[:, A_L1_READ_ACCESS] = loads
+    rows[:, A_L1_READ_MISS] = l1_read_miss
+    rows[:, A_L1_WRITE_ACCESS] = stores
+    rows[:, A_L1_WRITE_MISS] = l1_write_miss
+    rows[:, A_L2_ACCESS] = l2_access
+    rows[:, A_L2_MISS] = l2_miss
+    rows[:, A_DRAM_BYTES] = l2_miss * arch.cache_line_bytes
+    rows[:, A_WARP_INST] = params[:, PP_ACTIVE_WARPS]
+    rows[:, A_MEM_LATENCY] = solutions.mem_latency_cycles
+    rows[:, A_BW_UTIL_TIME] = 0.0
+    rows[:, QR_IPC] = solutions.ipc
+    rows[:, QR_BW_UTIL] = solutions.bandwidth_utilization
+    return rows
 
 
 @dataclass
@@ -395,7 +471,10 @@ class ClusterState:
                 phase = (kernel.segment(seg_index)
                          if seg_index < num_segments else None)
             elapsed += step_time
-            np.multiply(step_vec, step_insts, out=scratch)
+            # Cached payloads may be QROW_WIDTH wide (quantum rows); only
+            # the activity slots accumulate here.
+            np.multiply(step_vec[:NUM_ACTIVITY_SLOTS], step_insts,
+                        out=scratch)
             acc += scratch
             busy_s += step_time
             bw_util_time += step_time * solution.bandwidth_utilization
@@ -422,6 +501,22 @@ class ClusterState:
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
+    def clone(self) -> "ClusterState":
+        """Independent copy sharing the (immutable-for-replay) arch,
+        noise track and solution cache, with private cursor/level state.
+        """
+        other = ClusterState.__new__(ClusterState)
+        other.arch = self.arch
+        other.cluster_id = self.cluster_id
+        other.cursor = self.cursor.clone()
+        other.noise = self.noise
+        other.level = self.level
+        other.solution_cache = self.solution_cache
+        other._pending_transition_s = self._pending_transition_s
+        other._acc = np.zeros(NUM_ACTIVITY_SLOTS, dtype=np.float64)
+        other._scratch = np.empty(NUM_ACTIVITY_SLOTS, dtype=np.float64)
+        return other
+
     def snapshot(self) -> dict:
         """Capture the replayable state of this cluster."""
         return {

@@ -66,8 +66,9 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..power.energy import EnergyAccount
-from .cluster import build_counters_matrix
+from .cluster import A_BUSY_S, build_counters_matrix
 from .counters import COUNTER_INDEX, CounterSet
+from .quantum import run_epoch_batch
 from .simulator import EpochRecord, GPUSimulator, RunResult
 
 try:  # pragma: no cover - always present on CPython >= 3.8
@@ -361,25 +362,55 @@ class FusedCampaignEngine:
         arch = live[0].simulator.arch
         epoch_s = live[0].simulator.epoch_s
 
-        # Phase 1: every live task's clusters run the identical serial
-        # quantum loop — per-task RNG/noise/cursor state advances
-        # bit-for-bit as it would alone.
-        all_activities = []
-        spans: list[tuple[_FusedTask, int, int, list, list[int]]] = []
-        for task in live:
-            sim = task.simulator
-            if task.epochs >= task.max_epochs:
-                raise SimulationError(
-                    f"run exceeded {task.max_epochs} epochs; kernel "
-                    f"{sim.workload_name!r} may be too long for this budget"
-                )
-            levels = sim.levels
-            activities = [cluster.run_epoch(epoch_s)
-                          for cluster in sim.clusters]
-            start = len(all_activities)
-            all_activities.extend(activities)
-            spans.append((task, start, len(all_activities), activities,
-                          levels))
+        # Phase 1: every live task's clusters advance one epoch.  When
+        # every live simulator runs the vectorised quantum kernel, ALL
+        # tasks' clusters go through **one** ``run_epoch_batch`` call —
+        # the kernel steps each cluster independently (per-cluster
+        # RNG/noise/cursor state advances bit-for-bit as it would
+        # alone) while batching the interval-model solves across the
+        # whole fleet of co-simulated tasks.  Otherwise every cluster
+        # runs the identical serial quantum loop.
+        vectorized = all(task.simulator._vectorized for task in live)
+        spans: list[tuple[_FusedTask, int, int, list | None, list[int]]] = []
+        batch_result = None
+        durations = None
+        if vectorized:
+            self._count("fused_vectorized_quanta")
+            all_clusters = []
+            for task in live:
+                sim = task.simulator
+                if task.epochs >= task.max_epochs:
+                    raise SimulationError(
+                        f"run exceeded {task.max_epochs} epochs; kernel "
+                        f"{sim.workload_name!r} may be too long for this "
+                        f"budget"
+                    )
+                start = len(all_clusters)
+                all_clusters.extend(sim.clusters)
+                spans.append((task, start, len(all_clusters), None,
+                              sim.levels))
+            batch_result = run_epoch_batch(all_clusters, epoch_s)
+            activity_matrix = batch_result.matrix
+            durations = np.full(len(all_clusters), epoch_s,
+                                dtype=np.float64)
+        else:
+            all_activities = []
+            for task in live:
+                sim = task.simulator
+                if task.epochs >= task.max_epochs:
+                    raise SimulationError(
+                        f"run exceeded {task.max_epochs} epochs; kernel "
+                        f"{sim.workload_name!r} may be too long for this "
+                        f"budget"
+                    )
+                activities = [cluster.run_epoch(epoch_s)
+                              for cluster in sim.clusters]
+                start = len(all_activities)
+                all_activities.extend(activities)
+                spans.append((task, start, len(all_activities), activities,
+                              sim.levels))
+            activity_matrix = np.stack(
+                [a.as_vector() for a in all_activities])
 
         # Phase 2: one stacked counter build over every live task's
         # clusters (all elementwise/rowwise — stacking-invariant), then
@@ -390,14 +421,21 @@ class FusedCampaignEngine:
         # cross-task batch would differ from the serial per-task call.
         # The slice view is value-identical to the task's own stack, so
         # the per-slice call reproduces the serial bits exactly.
-        activity_matrix = np.stack([a.as_vector() for a in all_activities])
         counters_matrix = build_counters_matrix(activity_matrix, arch)
         self._count("fused_stacked_rows", activity_matrix.shape[0])
         energy_by_span: list[np.ndarray] = []
-        for task, start, stop, activities, _ in spans:
-            dynamic_w, static_w, energy_j = (
-                task.simulator.power_model.cluster_power_batch(
-                    activities, matrix=activity_matrix[start:stop]))
+        for task, start, stop, activities, levels in spans:
+            if activities is None:
+                sim = task.simulator
+                dynamic_w, static_w, energy_j = (
+                    sim.power_model.cluster_power_batch(
+                        None, matrix=activity_matrix[start:stop],
+                        durations=durations[start:stop],
+                        voltages=sim._voltage_by_level[levels]))
+            else:
+                dynamic_w, static_w, energy_j = (
+                    task.simulator.power_model.cluster_power_batch(
+                        activities, matrix=activity_matrix[start:stop]))
             sub = counters_matrix[start:stop]
             sub[:, COUNTER_INDEX["power_per_core"]] = dynamic_w + static_w
             sub[:, COUNTER_INDEX["power_dynamic"]] = dynamic_w
@@ -415,12 +453,25 @@ class FusedCampaignEngine:
                 in enumerate(spans):
             sim = task.simulator
             sub = counters_matrix[start:stop]
-            cluster_counters = [CounterSet.from_vector(row.copy())
-                                for row in sub]
             uncore = sim.power_model.uncore_power(
                 activities, epoch_s, matrix=activity_matrix[start:stop])
-            all_finished = all(a.finished for a in activities)
-            finish_time = max((a.busy_s for a in activities), default=0.0)
+            if activities is None:
+                cluster_counters = [CounterSet.from_vector(row)
+                                    for row in sub]
+                all_finished = all(
+                    batch_result.finished[start:stop].tolist())
+                finish_time = max(
+                    activity_matrix[start:stop, A_BUSY_S].tolist(),
+                    default=0.0)
+                instructions = sum(
+                    batch_result.instructions[start:stop].tolist())
+            else:
+                cluster_counters = [CounterSet.from_vector(row.copy())
+                                    for row in sub]
+                all_finished = all(a.finished for a in activities)
+                finish_time = max((a.busy_s for a in activities),
+                                  default=0.0)
+                instructions = sum(a.instructions for a in activities)
             record = EpochRecord(
                 index=sim.epoch_index,
                 start_time_s=sim.time_s,
@@ -428,7 +479,7 @@ class FusedCampaignEngine:
                 levels=levels,
                 counters=CounterSet.from_vector(sub.mean(axis=0)),
                 cluster_counters=cluster_counters,
-                instructions=sum(a.instructions for a in activities),
+                instructions=instructions,
                 cluster_energy_j=float(energy_by_span[span_index].sum()),
                 uncore_energy_j=uncore.energy_j,
                 all_finished=all_finished,

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import SimulationError
 from .arch import GPUArchConfig
 from .phases import INSTRUCTION_CLASSES, Phase
@@ -191,6 +193,221 @@ def solve_throughput(arch: GPUArchConfig, phase: Phase, frequency_hz: float,
     )
 
 
+# ---------------------------------------------------------------------------
+# Batched (vectorised) solver
+# ---------------------------------------------------------------------------
+#: Column layout of a *phase-parameter row*: every phase field the
+#: solver (and the per-instruction activity row) reads, flattened to
+#: float64 so a stack of phases becomes a ``(n, NUM_PHASE_PARAMS)``
+#: matrix that :func:`solve_throughput_batch` consumes directly.
+PP_CPI_EXEC = 0
+PP_MLP = 1
+PP_L1_MISS = 2
+PP_L2_MISS = 3
+PP_ACTIVE_WARPS = 4
+PP_DIVERGENCE = 5
+PP_INSTRUCTIONS = 6
+PP_LOAD_FRAC = 7
+PP_STORE_FRAC = 8
+PP_BRANCH_FRAC = 9
+PP_SYNC_FRAC = 10
+PP_CLASS0 = 11                     # 9 instruction classes: columns 11..19
+NUM_PHASE_PARAMS = PP_CLASS0 + len(INSTRUCTION_CLASSES)
+
+PP_CLASS_SLICE = slice(PP_CLASS0, PP_CLASS0 + len(INSTRUCTION_CLASSES))
+
+#: id() -> (phase, row): holding the phase pins its id, exactly like the
+#: SolutionCache key memos.  Bounded: cleared wholesale when it grows
+#: past a few thousand distinct phase objects.
+_PHASE_PARAM_ROWS: dict[int, tuple] = {}
+_PHASE_PARAM_ROWS_MAX = 4096
+
+
+def phase_params_row(phase: Phase) -> np.ndarray:
+    """The phase's solver inputs as one float64 row (memoised, read-only
+    by convention)."""
+    cached = _PHASE_PARAM_ROWS.get(id(phase))
+    if cached is not None and cached[0] is phase:
+        return cached[1]
+    row = np.empty(NUM_PHASE_PARAMS, dtype=np.float64)
+    mix = phase.mix
+    row[PP_CPI_EXEC] = phase.cpi_exec
+    row[PP_MLP] = phase.mlp
+    row[PP_L1_MISS] = phase.l1_miss_rate
+    row[PP_L2_MISS] = phase.l2_miss_rate
+    row[PP_ACTIVE_WARPS] = phase.active_warps
+    row[PP_DIVERGENCE] = phase.divergence
+    row[PP_INSTRUCTIONS] = phase.instructions
+    row[PP_LOAD_FRAC] = phase.load_fraction
+    row[PP_STORE_FRAC] = phase.store_fraction
+    row[PP_BRANCH_FRAC] = phase.branch_fraction
+    row[PP_SYNC_FRAC] = mix.get("sync", 0.0)
+    for offset, cls in enumerate(INSTRUCTION_CLASSES):
+        row[PP_CLASS0 + offset] = mix.get(cls, 0.0)
+    if len(_PHASE_PARAM_ROWS) >= _PHASE_PARAM_ROWS_MAX:
+        _PHASE_PARAM_ROWS.clear()
+    _PHASE_PARAM_ROWS[id(phase)] = (phase, row)
+    return row
+
+
+@dataclass
+class BatchSolution:
+    """Struct-of-arrays result of :func:`solve_throughput_batch`.
+
+    Each field is a ``(n,)`` array; element ``j`` is bit-identical to
+    the corresponding :class:`ThroughputSolution` field the scalar
+    solver returns for input ``j``.
+    """
+
+    frequency_hz: np.ndarray
+    ipc: np.ndarray
+    cycles_per_instruction: np.ndarray
+    mem_latency_cycles: np.ndarray
+    bandwidth_utilization: np.ndarray
+    bandwidth_limited: np.ndarray
+    stall_mem_load: np.ndarray
+    stall_mem_other: np.ndarray
+    stall_control: np.ndarray
+    stall_sync: np.ndarray
+    stall_data: np.ndarray
+    stall_idle: np.ndarray
+
+    def solution_at(self, index: int) -> ThroughputSolution:
+        """Materialise element ``index`` as a scalar solution object."""
+        return ThroughputSolution(
+            frequency_hz=float(self.frequency_hz[index]),
+            ipc=float(self.ipc[index]),
+            cycles_per_instruction=float(self.cycles_per_instruction[index]),
+            mem_latency_cycles=float(self.mem_latency_cycles[index]),
+            bandwidth_utilization=float(self.bandwidth_utilization[index]),
+            bandwidth_limited=bool(self.bandwidth_limited[index]),
+            stall_mem_load=float(self.stall_mem_load[index]),
+            stall_mem_other=float(self.stall_mem_other[index]),
+            stall_control=float(self.stall_control[index]),
+            stall_sync=float(self.stall_sync[index]),
+            stall_data=float(self.stall_data[index]),
+            stall_idle=float(self.stall_idle[index]),
+        )
+
+
+def solve_throughput_batch(arch: GPUArchConfig, params: np.ndarray,
+                           frequency_hz: np.ndarray,
+                           warp_multiplier: np.ndarray,
+                           miss_multiplier: np.ndarray,
+                           cpi_multiplier: np.ndarray) -> BatchSolution:
+    """Vectorised :func:`solve_throughput` over a stack of solve inputs.
+
+    ``params`` is a ``(n, NUM_PHASE_PARAMS)`` matrix of
+    :func:`phase_params_row` rows; the other arguments are ``(n,)``
+    arrays.  Every element of the result is bit-identical to the scalar
+    solver because each intermediate replicates the scalar expression's
+    operand order exactly: IEEE-754 elementwise add/sub/mul/div/min/max
+    are correctly rounded, so an array op applies the *same* rounding
+    per element as the equivalent chain of Python float ops.  (There are
+    no reductions or matrix products here — those are the only numpy
+    stages whose grouping can differ from scalar evaluation.)
+    """
+    p = np.asarray(params, dtype=np.float64)
+    f = np.asarray(frequency_hz, dtype=np.float64)
+    wm = np.asarray(warp_multiplier, dtype=np.float64)
+    mm = np.asarray(miss_multiplier, dtype=np.float64)
+    cm = np.asarray(cpi_multiplier, dtype=np.float64)
+    if p.ndim != 2 or p.shape[1] != NUM_PHASE_PARAMS:
+        raise SimulationError(
+            f"expected params of shape (n, {NUM_PHASE_PARAMS}), got {p.shape}")
+    if f.size and f.min() <= 0:
+        raise SimulationError("frequency must be positive")
+    if wm.size and min(wm.min(), mm.min(), cm.min()) <= 0:
+        raise SimulationError("jitter multipliers must be positive")
+
+    warps = np.minimum(float(arch.max_warps_per_cluster),
+                       np.maximum(1.0, p[:, PP_ACTIVE_WARPS] * wm))
+    l1_miss = np.minimum(1.0, p[:, PP_L1_MISS] * mm)
+    l2_miss = np.minimum(1.0, p[:, PP_L2_MISS])
+    div_term = 1.0 + _DIVERGENCE_CPI_FACTOR * p[:, PP_DIVERGENCE]
+    cpi = (p[:, PP_CPI_EXEC] * cm) * div_term
+
+    beyond_l1_ns = arch.l2_latency_ns + l2_miss * arch.dram_latency_ns
+    beyond_l1_cycles = beyond_l1_ns * 1e-9 * f
+    mem_latency = arch.l1_hit_latency_cycles + l1_miss * beyond_l1_cycles
+    load_wait = p[:, PP_LOAD_FRAC] * mem_latency / p[:, PP_MLP]
+    store_wait = (p[:, PP_STORE_FRAC] * mem_latency * _STORE_EXPOSURE
+                  / p[:, PP_MLP])
+    sync_wait = p[:, PP_SYNC_FRAC] * _SYNC_COST_CYCLES
+    c_solo = cpi + load_wait + store_wait + sync_wait
+
+    ipc_overlap = np.minimum(float(arch.issue_width), warps / c_solo)
+
+    load_share = p[:, PP_LOAD_FRAC] * l1_miss * l2_miss
+    store_share = p[:, PP_STORE_FRAC] * 0.9 * l2_miss
+    bytes_per_inst = (load_share + store_share) * arch.cache_line_bytes
+    has_bytes = bytes_per_inst > 0
+    safe_bw_denom = np.where(has_bytes, f * bytes_per_inst, 1.0)
+    ipc_bandwidth = np.where(
+        has_bytes, arch.cluster_bandwidth_bytes_per_s / safe_bw_denom, np.inf)
+
+    bandwidth_limited = ipc_bandwidth < ipc_overlap
+    ipc = np.maximum(1e-9, np.minimum(ipc_overlap, ipc_bandwidth))
+    cycles_per_instruction = 1.0 / ipc
+
+    traffic = ipc * f * bytes_per_inst
+    bandwidth_utilization = np.minimum(
+        1.0, traffic / arch.cluster_bandwidth_bytes_per_s)
+
+    slots_per_inst = arch.issue_width * cycles_per_instruction
+    stall_total = np.maximum(0.0, slots_per_inst - 1.0)
+
+    control_contrib = (cpi * _DIVERGENCE_CPI_FACTOR * p[:, PP_DIVERGENCE]
+                       / div_term + p[:, PP_BRANCH_FRAC])
+    data_contrib = np.maximum(0.0, cpi - control_contrib - 1.0)
+    # 1/inf == 0.0 exactly, so the unlimited elements contribute no
+    # queueing term and the mask below discards them anyway.
+    extra = np.maximum(0.0, 1.0 / ipc_bandwidth - 1.0 / ipc_overlap) * warps
+    denom = load_share + store_share
+    limited = bandwidth_limited & (denom > 0)
+    safe_denom = np.where(limited, denom, 1.0)
+    mem_load_contrib = np.where(
+        limited, load_wait + extra * load_share / safe_denom, load_wait)
+    mem_other_contrib = np.where(
+        limited, store_wait + extra * store_share / safe_denom, store_wait)
+    sync_contrib = sync_wait
+    contrib_sum = (mem_load_contrib + mem_other_contrib + control_contrib
+                   + sync_contrib + data_contrib)
+
+    positive = contrib_sum > 0
+    safe_sum = np.where(positive, contrib_sum, 1.0)
+    part_mem_load = np.where(
+        positive, stall_total * mem_load_contrib / safe_sum * 0.92, 0.0)
+    part_mem_other = np.where(
+        positive, stall_total * mem_other_contrib / safe_sum * 0.92, 0.0)
+    part_control = np.where(
+        positive, stall_total * control_contrib / safe_sum * 0.92, 0.0)
+    part_sync = np.where(
+        positive, stall_total * sync_contrib / safe_sum * 0.92, 0.0)
+    part_data = np.where(
+        positive, stall_total * data_contrib / safe_sum * 0.92, 0.0)
+    idle = np.where(
+        positive,
+        stall_total - (part_mem_load + part_mem_other + part_control
+                       + part_sync + part_data),
+        stall_total)
+
+    return BatchSolution(
+        frequency_hz=f,
+        ipc=ipc,
+        cycles_per_instruction=cycles_per_instruction,
+        mem_latency_cycles=mem_latency,
+        bandwidth_utilization=bandwidth_utilization,
+        bandwidth_limited=bandwidth_limited,
+        stall_mem_load=part_mem_load,
+        stall_mem_other=part_mem_other,
+        stall_control=part_control,
+        stall_sync=part_sync,
+        stall_data=part_data,
+        stall_idle=np.maximum(0.0, idle),
+    )
+
+
 def _arch_solve_key(arch: GPUArchConfig) -> tuple:
     """The subset of architecture constants that determine a solve."""
     return (
@@ -217,6 +434,62 @@ def _phase_solve_key(phase: Phase) -> tuple:
     ) + tuple(mix.get(cls, 0.0) for cls in INSTRUCTION_CLASSES)
 
 
+#: Process-local interning of the derived arch/phase key tuples.  Cache
+#: keys embed the *interned id* (a small int) instead of the 7/21-float
+#: tuple itself: the epoch engine hashes a cache key per quantum, and
+#: hashing two nested float tuples dominates the dict costs on the hot
+#: path, while an int id hashes for free.  The registry is append-only
+#: and bijective for the life of the process (a handful of arch/phase
+#: values exist per run), so ids translate back to value tuples on
+#: export and forward again on import — cross-process transport still
+#: moves plain value tuples.
+_SOLVE_KEY_IDS: dict[tuple, int] = {}
+_SOLVE_KEY_TUPLES: list[tuple] = []
+
+
+def intern_solve_key(key: tuple) -> int:
+    """Return the process-local id of a derived arch/phase key tuple."""
+    kid = _SOLVE_KEY_IDS.get(key)
+    if kid is None:
+        kid = len(_SOLVE_KEY_TUPLES)
+        _SOLVE_KEY_IDS[key] = kid
+        _SOLVE_KEY_TUPLES.append(key)
+    return kid
+
+
+#: Module-level id-pinned memos for the interned key ids, shared by
+#: every cache (ids intern by value, so which memo derived them is
+#: irrelevant — equal objects produce equal ids).  The batch engine
+#: uses these to key clusters that may carry *different* cache objects.
+_ARCH_KEY_MEMO: dict[int, tuple] = {}
+_PHASE_KEY_MEMO: dict[int, tuple] = {}
+_KEY_MEMO_MAX = 4096
+
+
+def arch_solve_key_cached(arch: GPUArchConfig) -> int:
+    """Memoised, interned :func:`_arch_solve_key` (id-pinned)."""
+    cached = _ARCH_KEY_MEMO.get(id(arch))
+    if cached is not None and cached[0] is arch:
+        return cached[1]
+    key = intern_solve_key(_arch_solve_key(arch))
+    if len(_ARCH_KEY_MEMO) >= _KEY_MEMO_MAX:
+        _ARCH_KEY_MEMO.clear()
+    _ARCH_KEY_MEMO[id(arch)] = (arch, key)
+    return key
+
+
+def phase_solve_key_cached(phase: Phase) -> int:
+    """Memoised, interned :func:`_phase_solve_key` (id-pinned)."""
+    cached = _PHASE_KEY_MEMO.get(id(phase))
+    if cached is not None and cached[0] is phase:
+        return cached[1]
+    key = intern_solve_key(_phase_solve_key(phase))
+    if len(_PHASE_KEY_MEMO) >= _KEY_MEMO_MAX:
+        _PHASE_KEY_MEMO.clear()
+    _PHASE_KEY_MEMO[id(phase)] = (phase, key)
+    return key
+
+
 class SolutionCache:
     """Memoises :func:`solve_throughput` results (plus a derived payload).
 
@@ -234,8 +507,10 @@ class SolutionCache:
 
     The cache key is ``(arch key, phase key, frequency, warp/miss/cpi
     multipliers)`` where the arch/phase keys are derived from exactly
-    the fields :func:`solve_throughput` reads.  Because the key captures
-    *every* input bit-exactly, a hit returns the identical
+    the fields :func:`solve_throughput` reads (stored as interned ids —
+    see :func:`intern_solve_key` — so the per-quantum hash touches two
+    ints and four floats instead of ~28 nested floats).  Because the
+    key captures *every* input bit-exactly, a hit returns the identical
     :class:`ThroughputSolution` the solver would have produced: cached
     and uncached simulations are bit-identical by construction.
 
@@ -259,6 +534,10 @@ class SolutionCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Batched-lookup slices of the hit/miss totals (probe_batch also
+        # counts into hits/misses, so hit_rate covers both paths).
+        self.batch_hits = 0
+        self.batch_misses = 0
         self._entries: dict[tuple, tuple] = {}
         # id() -> (object, key): holding the object keeps its id from
         # being reused by a different arch/phase after garbage collection.
@@ -286,35 +565,55 @@ class SolutionCache:
     def export_entries(self) -> dict[tuple, tuple]:
         """Snapshot the memoised entries for transport to other caches.
 
-        Keys are plain value tuples (derived from the arch/phase fields
-        the solver reads, never object identities) and entries are
-        ``(solution, payload)`` pairs, so the export pickles cleanly and
-        imports into any cache regardless of which objects produced it.
+        Exported keys are plain value tuples (the interned arch/phase
+        ids are translated back to the tuples they intern, never object
+        identities or process-local ids) and entries are ``(solution,
+        payload)`` pairs, so the export pickles cleanly and imports into
+        any cache regardless of which objects — or process — produced
+        it.  Batch-stored entries keep their solution lazy (a reference
+        into the batch result) until first scalar use; the export
+        materialises them so importers receive plain solution objects.
+        Probe slots an aborted batch left unfilled are skipped.
         """
-        return dict(self._entries)
+        tuples = _SOLVE_KEY_TUPLES
+        out: dict[tuple, tuple] = {}
+        for key, entry in self._entries.items():
+            solution = entry[0]
+            if solution is None:
+                continue
+            if type(solution) is tuple:
+                batch, j = solution
+                solution = batch.solution_at(j)
+                entry[0] = solution
+            out[(tuples[key[0]], tuples[key[1]]) + key[2:]] = (
+                solution, entry[1])
+        return out
 
     def import_entries(self, entries: dict[tuple, tuple]) -> int:
         """Warm this cache from another cache's :meth:`export_entries`.
 
         Because keys capture every solver input bit-exactly, imported
         entries can only ever turn misses into hits — they never change
-        a solve result.  Imports respect ``max_entries``; the number of
-        entries actually added is returned.
+        a solve result.  The exported value-tuple keys are re-interned
+        into this process's ids.  Imports respect ``max_entries``; the
+        number of entries actually added is returned.
         """
         added = 0
         for key, entry in entries.items():
             if len(self._entries) >= self.max_entries:
                 break
-            if key not in self._entries:
-                self._entries[key] = entry
+            ikey = (intern_solve_key(key[0]),
+                    intern_solve_key(key[1])) + key[2:]
+            if ikey not in self._entries:
+                self._entries[ikey] = entry
                 added += 1
         return added
 
-    def _key_for(self, memo: dict, obj, derive) -> tuple:
+    def _key_for(self, memo: dict, obj, derive) -> int:
         cached = memo.get(id(obj))
         if cached is not None and cached[0] is obj:
             return cached[1]
-        key = derive(obj)
+        key = intern_solve_key(derive(obj))
         memo[id(obj)] = (obj, key)
         return key
 
@@ -328,9 +627,18 @@ class SolutionCache:
             frequency_hz, warp_multiplier, miss_multiplier, cpi_multiplier,
         )
         entry = self._entries.get(key)
-        if entry is not None:
+        if entry is not None and entry[0] is not None:
             self.hits += 1
-            return entry
+            solution = entry[0]
+            if type(solution) is tuple:
+                # Batch-stored entry: materialise the scalar solution on
+                # first scalar use and rewrite the (mutable) entry.
+                batch, j = solution
+                solution = batch.solution_at(j)
+                entry[0] = solution
+            return (solution, entry[1])
+        # entry[0] is None marks a probe slot an aborted batch never
+        # filled — fall through and overwrite it with a real solve.
         self.misses += 1
         solution = solve_throughput(
             arch, phase, frequency_hz,
@@ -346,6 +654,73 @@ class SolutionCache:
         entry = (solution, payload)
         self._entries[key] = entry
         return entry
+
+    # ------------------------------------------------------------------
+    # Batched lookups (vectorised quantum kernel)
+    # ------------------------------------------------------------------
+    def probe_batch(self, keys: list, out: np.ndarray) -> list:
+        """Copy the payload rows of cached ``keys`` into ``out`` rows.
+
+        ``keys`` are full solve keys (as built from
+        :func:`arch_solve_key_cached` / :func:`phase_solve_key_cached`
+        plus the exact frequency/multiplier floats — value-equal to the
+        keys :meth:`solve` builds, so scalar and batched lookups share
+        entries).  Returns ``(index, slot)`` pairs for the keys that
+        missed; the caller solves those in one batch and hands the list
+        back to :meth:`store_batch`.  Each miss *pre-inserts* an empty
+        ``[None, None]`` slot that store fills in place — the key is
+        hashed exactly once per miss instead of once to probe and again
+        to store.  A pending slot re-encountered before its fill (a
+        duplicate key within one wave, or a slot left behind by an
+        aborted batch) counts as a fresh miss and is simply re-solved.
+        Only valid when the memoised payload is a row of ``out``'s
+        width (the quantum-row payload builder).
+        """
+        entries = self._entries
+        max_entries = self.max_entries
+        missing: list = []
+        append = missing.append
+        for index, key in enumerate(keys):
+            entry = entries.get(key)
+            if entry is None:
+                if len(entries) >= max_entries:
+                    self.evictions += len(entries)
+                    entries.clear()
+                slot = [None, None]
+                entries[key] = slot
+                append((index, slot))
+            elif entry[0] is None:
+                append((index, entry))
+            else:
+                out[index] = entry[1]
+        hit_count = len(keys) - len(missing)
+        self.hits += hit_count
+        self.batch_hits += hit_count
+        self.misses += len(missing)
+        self.batch_misses += len(missing)
+        return missing
+
+    def store_batch(self, missing: list, solutions: BatchSolution,
+                    rows: np.ndarray) -> None:
+        """Fill the probe slots of a batch-solved miss set.
+
+        ``missing`` is :meth:`probe_batch`'s return value; element ``j``
+        of ``solutions`` and ``rows[j]`` must describe the solve for the
+        ``j``-th missing key.  ``rows`` must match what
+        ``payload_builder`` would produce per element, so scalar hits on
+        these entries see the exact payload they would have built.
+        Counting and capacity eviction happened in :meth:`probe_batch`;
+        this only fills the pre-inserted slots (no key hashing at all).
+        The scalar solution is stored *lazily* as a ``(solutions, j)``
+        reference — batched stepping only ever reads the payload row, so
+        materialising a solution object per miss would be pure overhead;
+        :meth:`solve` and :meth:`export_entries` materialise on first
+        scalar use (``solution_at`` is bit-exact, so laziness is
+        invisible to results).
+        """
+        for j, (_, slot) in enumerate(missing):
+            slot[0] = (solutions, j)
+            slot[1] = rows[j]
 
 
 def frequency_sensitivity(arch: GPUArchConfig, phase: Phase,

@@ -108,14 +108,64 @@ class WorkloadNoise:
         """First instruction index after ``chunk``."""
         return float((chunk + 1) * self.chunk_instructions)
 
+    #: Chunks materialised per extension beyond the requested index.
+    #: numpy's ``standard_normal(n)`` consumes the bit stream exactly
+    #: like ``n`` scalar draws, so batching (and over-extending) changes
+    #: neither the draw sequence nor any track value — only how often
+    #: the RNG is entered.
+    _EXTEND_BLOCK = 16
+
     def _extend_to(self, chunk: int) -> None:
+        have = len(self._tracks[0])
+        if have > chunk:
+            return
         low, high = 1.0 - self.clip, 1.0 + self.clip
-        while len(self._tracks[0]) <= chunk:
-            for track in self._tracks:
-                previous = track[-1] if track else 1.0
-                innovation = self.sigma * float(self._rng.standard_normal())
-                value = 1.0 + self.rho * (previous - 1.0) + innovation
-                track.append(min(high, max(low, value)))
+        count = max(chunk + 1 - have, self._EXTEND_BLOCK)
+        draws = (self.sigma * self._rng.standard_normal(3 * count)).tolist()
+        rho = self.rho
+        track0, track1, track2 = self._tracks
+        append0, append1, append2 = (track0.append, track1.append,
+                                     track2.append)
+        p0 = track0[-1] if track0 else 1.0
+        p1 = track1[-1] if track1 else 1.0
+        p2 = track2[-1] if track2 else 1.0
+        d = 0
+        # Branches replicate ``min(high, max(low, value))`` exactly for
+        # the finite values produced here.
+        for _ in range(count):
+            v = 1.0 + rho * (p0 - 1.0) + draws[d]
+            if v > high:
+                v = high
+            elif v < low:
+                v = low
+            p0 = v
+            append0(v)
+            v = 1.0 + rho * (p1 - 1.0) + draws[d + 1]
+            if v > high:
+                v = high
+            elif v < low:
+                v = low
+            p1 = v
+            append1(v)
+            v = 1.0 + rho * (p2 - 1.0) + draws[d + 2]
+            if v > high:
+                v = high
+            elif v < low:
+                v = low
+            p2 = v
+            append2(v)
+            d += 3
+
+    def tracks(self) -> list[list[float]]:
+        """The three raw multiplier tracks (warp, miss, cpi).
+
+        Batching hook for the vectorised epoch engine: hot loops index
+        the lists directly (after :meth:`ensure`-ing coverage via
+        :meth:`multipliers`) instead of paying a method call per
+        quantum.  Only meaningful when ``sigma > 0``; the lists must be
+        treated as append-only.
+        """
+        return self._tracks
 
     def multipliers(self, chunk: int) -> tuple[float, float, float]:
         """Return ``(warp, miss, cpi)`` multipliers for ``chunk``."""
@@ -123,6 +173,8 @@ class WorkloadNoise:
             raise SimulationError("chunk index cannot be negative")
         if self.sigma == 0.0:
             return (1.0, 1.0, 1.0)
-        self._extend_to(chunk)
-        return (self._tracks[0][chunk], self._tracks[1][chunk],
-                self._tracks[2][chunk])
+        tracks = self._tracks
+        track0 = tracks[0]
+        if chunk >= len(track0):
+            self._extend_to(chunk)
+        return (track0[chunk], tracks[1][chunk], tracks[2][chunk])

@@ -27,12 +27,13 @@ from ..power.model import PowerModel
 from ..rng import StreamFactory
 from ..units import us
 from .arch import GPUArchConfig
-from .cluster import (ClusterState, EpochActivity, build_counters_matrix,
-                      step_vector_for)
+from .cluster import (A_BUSY_S, NUM_ACTIVITY_SLOTS, ClusterState,
+                      EpochActivity, build_counters_matrix, quantum_row_for)
 from .counters import COUNTER_INDEX, CounterSet
 from .interval_model import SolutionCache
 from .kernels import KernelProfile
 from .noise import WorkloadNoise
+from .quantum import run_epoch_batch
 
 #: Default DVFS epoch length: the paper's 10 µs resolution.
 DEFAULT_EPOCH_S = us(10.0)
@@ -117,7 +118,8 @@ class GPUSimulator:
                  epoch_s: float = DEFAULT_EPOCH_S,
                  use_solution_cache: bool = True,
                  solution_cache: SolutionCache | None = None,
-                 noise_cache: dict | None = None) -> None:
+                 noise_cache: dict | None = None,
+                 vectorized: bool = True) -> None:
         if epoch_s <= 0:
             raise SimulationError("epoch length must be positive")
         self.arch = arch
@@ -148,8 +150,15 @@ class GPUSimulator:
             self.solution_cache: SolutionCache | None = solution_cache
         else:
             self.solution_cache = (
-                SolutionCache(payload_builder=step_vector_for)
+                SolutionCache(payload_builder=quantum_row_for)
                 if use_solution_cache else None)
+        # The batched quantum engine needs the quantum-row cache payload
+        # (the default); a caller-supplied cache with a different
+        # builder silently falls back to the scalar per-cluster loop so
+        # existing integrations keep working unchanged.
+        self._vectorized = bool(vectorized) and (
+            self.solution_cache is None
+            or self.solution_cache.payload_builder is quantum_row_for)
         self.clusters: list[ClusterState] = []
         skew_rngs = {k.name: streams.get(f"skew.{k.name}") for k in kernels}
         for cid in range(arch.num_clusters):
@@ -184,6 +193,17 @@ class GPUSimulator:
             )
         self.time_s = 0.0
         self.epoch_index = 0
+        # Preallocated per-epoch buffers (vectorised path): the batched
+        # engine writes activity vectors straight into ``_activity_buf``
+        # and power evaluation reads constant duration / table-indexed
+        # voltage arrays instead of rebuilding them per epoch.
+        n = arch.num_clusters
+        self._activity_buf = np.zeros((n, NUM_ACTIVITY_SLOTS),
+                                      dtype=np.float64)
+        self._durations = np.full(n, self.epoch_s, dtype=np.float64)
+        self._voltage_by_level = np.array(
+            [arch.vf_table[lv].voltage_v
+             for lv in range(arch.vf_table.num_levels)], dtype=np.float64)
 
     @property
     def workload_name(self) -> str:
@@ -247,6 +267,8 @@ class GPUSimulator:
         """
         if self.finished:
             raise SimulationError("cannot step a finished simulation")
+        if self._vectorized:
+            return self._step_epoch_vectorized()
         activities: list[EpochActivity] = []
         levels = self.levels
         for cluster in self.clusters:
@@ -261,7 +283,7 @@ class GPUSimulator:
         counters_matrix[:, COUNTER_INDEX["power_dynamic"]] = dynamic_w
         counters_matrix[:, COUNTER_INDEX["power_static"]] = static_w
         counters_matrix[:, COUNTER_INDEX["energy_epoch"]] = energy_j
-        cluster_counters = [CounterSet.from_vector(row.copy())
+        cluster_counters = [CounterSet.from_vector(row)
                             for row in counters_matrix]
         cluster_energy = float(energy_j.sum())
         uncore = self.power_model.uncore_power(activities, self.epoch_s,
@@ -281,6 +303,47 @@ class GPUSimulator:
             uncore_energy_j=uncore.energy_j,
             all_finished=all_finished,
             finish_time_s=finish_time,
+        )
+        self.time_s += self.epoch_s
+        self.epoch_index += 1
+        return record
+
+    def _step_epoch_vectorized(self) -> EpochRecord:
+        """Batched :meth:`step_epoch`: one quantum-kernel call for all
+        clusters, no per-cluster activity objects, bit-identical output.
+        """
+        levels = self.levels
+        result = run_epoch_batch(self.clusters, self.epoch_s,
+                                 matrix_out=self._activity_buf)
+        activity_matrix = result.matrix
+        counters_matrix = build_counters_matrix(activity_matrix, self.arch)
+        dynamic_w, static_w, energy_j = self.power_model.cluster_power_batch(
+            None, matrix=activity_matrix, durations=self._durations,
+            voltages=self._voltage_by_level[levels])
+        counters_matrix[:, COUNTER_INDEX["power_per_core"]] = (dynamic_w
+                                                               + static_w)
+        counters_matrix[:, COUNTER_INDEX["power_dynamic"]] = dynamic_w
+        counters_matrix[:, COUNTER_INDEX["power_static"]] = static_w
+        counters_matrix[:, COUNTER_INDEX["energy_epoch"]] = energy_j
+        cluster_counters = [CounterSet.from_vector(row)
+                            for row in counters_matrix]
+        cluster_energy = float(energy_j.sum())
+        uncore = self.power_model.uncore_power(None, self.epoch_s,
+                                               matrix=activity_matrix)
+
+        record = EpochRecord(
+            index=self.epoch_index,
+            start_time_s=self.time_s,
+            duration_s=self.epoch_s,
+            levels=levels,
+            counters=CounterSet.from_vector(counters_matrix.mean(axis=0)),
+            cluster_counters=cluster_counters,
+            instructions=sum(result.instructions.tolist()),
+            cluster_energy_j=cluster_energy,
+            uncore_energy_j=uncore.energy_j,
+            all_finished=all(result.finished.tolist()),
+            finish_time_s=max(activity_matrix[:, A_BUSY_S].tolist(),
+                              default=0.0),
         )
         self.time_s += self.epoch_s
         self.epoch_index += 1

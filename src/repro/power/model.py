@@ -179,22 +179,31 @@ class PowerModel:
             energy_j=dynamic_j + static_j,
         )
 
-    def cluster_power_batch(self, activities: list[EpochActivity],
-                            matrix: np.ndarray | None = None
+    def cluster_power_batch(self, activities: list[EpochActivity] | None,
+                            matrix: np.ndarray | None = None,
+                            durations: np.ndarray | None = None,
+                            voltages: np.ndarray | None = None
                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Vectorised :meth:`cluster_power` over every cluster at once.
 
         Returns ``(dynamic_w, static_w, energy_j)`` arrays, one entry
-        per activity.  ``matrix`` may pass the pre-stacked activity
-        vectors so the caller's stack is reused.
+        per cluster row.  ``matrix`` may pass the pre-stacked activity
+        vectors so the caller's stack is reused; ``durations`` and
+        ``voltages`` may pass the per-row epoch lengths and operating
+        voltages directly, in which case ``activities`` is only read
+        for whatever remains unset (the vectorised quantum engine
+        passes all three and no activity objects at all).
         """
         cfg = self.config
         if matrix is None:
             matrix = np.stack([a.as_vector() for a in activities])
-        durations = np.array([a.duration_s for a in activities])
+        if durations is None:
+            durations = np.array([a.duration_s for a in activities])
         if np.any(durations <= 0):
             raise ConfigError("activity duration must be positive")
-        vratio = np.array([a.voltage_v for a in activities]) / REFERENCE_VOLTAGE
+        if voltages is None:
+            voltages = np.array([a.voltage_v for a in activities])
+        vratio = voltages / REFERENCE_VOLTAGE
         v2 = vratio * vratio
 
         inst_energy = matrix[:, _CLASS_SLICE] @ self._epi_vector
@@ -207,10 +216,14 @@ class PowerModel:
         static_j = static_w * durations
         return dynamic_w, static_w, dynamic_j + static_j
 
-    def uncore_power(self, activities: list[EpochActivity],
+    def uncore_power(self, activities: list[EpochActivity] | None,
                      duration_s: float,
                      matrix: np.ndarray | None = None) -> UncorePower:
-        """Uncore power for one epoch given every cluster's activity."""
+        """Uncore power for one epoch given every cluster's activity.
+
+        ``activities`` may be ``None`` when ``matrix`` is given (the
+        traffic totals are then read from the matrix columns).
+        """
         cfg = self.config
         if duration_s <= 0:
             raise ConfigError("epoch duration must be positive")
