@@ -25,7 +25,7 @@ export PYTHONPATH := src
 
 .PHONY: test test-fast test-slow bench-smoke train-bench-smoke \
 	fused-bench-smoke quantum-bench-smoke bench faults-smoke soak-smoke \
-	fleet-smoke fleet-chaos-smoke
+	fleet-smoke fleet-chaos-smoke serve-chaos-smoke
 
 test-fast:
 	$(PYTHON) -m pytest -q -m "not slow"
@@ -78,6 +78,21 @@ fleet-chaos-smoke:
 		--trials 2 --seed 7 --store .cache/chaos-store --stats \
 		--export benchmarks/results/FLEET_chaos_smoke.json
 	$(PYTHON) -m pytest -q tests/test_fleet_resilience.py
+
+# Serve-chaos smoke: seeded fault trains (worker crashes/hangs,
+# inference stalls, telemetry storms/gaps, poisoned updates, overload
+# bursts) against the always-on serving runtime.  The CLI exits
+# non-zero if any serving invariant breaks — an invalid decision
+# served, a request lost or double-counted, a worker outage past the
+# recovery budget, a non-byte-stable replay, or a deadline-class
+# request shed under capacity.  The exported payload is atomic and
+# byte-stable per seed; CI uploads it as an artifact.  Outside the
+# tier-1 `test-fast` gate.
+serve-chaos-smoke:
+	$(PYTHON) -m repro.cli serve-chaos --small --streams 2 --ticks 160 \
+		--trials 2 --seed 7 --store .cache/serve-chaos-store --stats \
+		--export benchmarks/results/SERVE_chaos_smoke.json
+	$(PYTHON) -m pytest -q tests/test_serve.py tests/test_serve_chaos.py
 
 test:
 	$(PYTHON) -m pytest -q

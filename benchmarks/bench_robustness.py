@@ -171,3 +171,64 @@ def test_fleet_resilience_gate(pipeline, arch, tmp_path, benchmark):
     from repro.faults import NodeFaultPlan
     benchmark(lambda: NodeFaultPlan.build(config.faults, config.nodes,
                                           1e-3))
+
+
+def test_serve_resilience_gate(pipeline, arch, tmp_path, benchmark):
+    """Serving leg: recovery-time and shed-discipline gates under chaos.
+
+    The paper-scale pruned pair serves decisions through the always-on
+    runtime while a seeded crash/hang/stall/storm/gap/poison/burst
+    train hits the workers and telemetry streams.  The serve-chaos
+    harness asserts the five serving invariants (valid decisions,
+    request conservation, bounded recovery, byte-stable replay,
+    deadline-shed discipline); on top of that this gate pins the
+    service-level outcomes: every worker outage heals within the
+    recovery budget, shedding stays a pressure valve (at most a third
+    of the stream, zero deadline-class sheds), and the degraded /
+    fallback decision paths plus the circuit-breaker and online-
+    calibration channels surface in the exported counter aggregate.
+    """
+    from repro.evaluation.serve_chaos import (CHAOS_FAULTS,
+                                              ServeChaosConfig,
+                                              run_serve_chaos)
+    from repro.serve import ServeConfig
+    from _reporting import RESULTS_DIR, write_result
+
+    model = pipeline.model("pruned")
+    config = ServeChaosConfig(
+        trials=2, determinism_trials=1, seed=29,
+        serve=ServeConfig(streams=2, ticks=160, num_workers=2,
+                          preset=PRESET, faults=CHAOS_FAULTS),
+        crash_write_trials=8)
+    result = run_serve_chaos(arch, config, model=model,
+                             store_root=tmp_path / "store")
+    write_result("serve_resilience", result.render())
+    result.export_json(RESULTS_DIR / "BENCH_serve_resilience.json")
+    assert result.passed, result.violations
+
+    for trial in result.trials:
+        # Recovery gate: every outage resolves inside the budget and
+        # no worker ends the run quarantined or mid-restart.
+        assert trial.max_recovery_ticks <= config.recovery_budget_ticks
+        assert trial.unrecovered == 0
+        # Shed gate: deadline-class traffic is never shed while the
+        # queue has room, and total shedding stays a safety valve.
+        assert trial.bad_deadline_sheds == 0
+        assert trial.invalid_decisions == 0
+        assert trial.conserved
+        assert trial.shed <= trial.submitted / 3
+    assert result.trials[0].byte_stable is True
+
+    # The degraded/fallback serving paths and the breaker + online-
+    # calibration channels must surface in the campaign aggregate.
+    assert result.counters.get("serve_requests_submitted", 0) > 0
+    assert any(name.startswith("breaker_") for name in result.counters)
+    assert any(name.startswith("online_") for name in result.counters)
+
+    # Benchmark: seeded serve-fault-train construction (the chaos hot
+    # path outside the replay itself).
+    from repro.faults import ServeFaultPlan
+    serve = config.serve
+    benchmark(lambda: ServeFaultPlan.build(
+        serve.faults, serve.num_workers, serve.streams,
+        serve.ticks + serve.drain_ticks))

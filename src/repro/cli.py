@@ -404,6 +404,68 @@ def cmd_fleet_chaos(args) -> int:
     return 0 if result.passed else 1
 
 
+def _serve_config(args):
+    """Build a :class:`~repro.serve.ServeConfig` from parsed CLI args."""
+    from .faults import ServeFaultConfig
+    from .serve import ServeConfig
+    faults = ServeFaultConfig(
+        crash_rate=args.crash_rate, hang_rate=args.hang_rate,
+        stall_rate=args.stall_rate, storm_rate=args.storm_rate,
+        gap_rate=args.gap_rate, poison_rate=args.poison_rate,
+        burst_rate=args.burst_rate, seed=args.seed)
+    return ServeConfig(streams=args.streams, ticks=args.ticks,
+                       num_workers=args.replicas,
+                       queue_capacity=args.queue_capacity,
+                       preset=args.preset[0],
+                       online_enabled=not args.no_online,
+                       faults=faults, seed=args.seed)
+
+
+def cmd_serve(args) -> int:
+    """Run one deterministic serving replay and report the accounting."""
+    from .serve import ServingRuntime
+    arch = _arch(args)
+    stats = CampaignStats()
+    model = SSMDVFSModel.load(args.model) if args.model else None
+    runtime = ServingRuntime(arch, _serve_config(args), model=model,
+                             store_root=args.store, workers=args.workers,
+                             stats=stats)
+    result = runtime.run()
+    print(result.render())
+    if args.export:
+        path = result.export_json(args.export)
+        print(f"exported -> {path}")
+    _print_stats(args, stats)
+    return 0 if result.conserved else 1
+
+
+def cmd_serve_chaos(args) -> int:
+    """Certify the serving runtime against seeded fault trains.
+
+    Exits non-zero when any serving invariant breaks: an invalid
+    decision served, a request lost or double-counted, a worker outage
+    past the recovery budget, a non-byte-stable replay, a
+    deadline-class request shed under capacity, or a torn read out of
+    the crash-write torture."""
+    from .evaluation.serve_chaos import ServeChaosConfig, run_serve_chaos
+    arch = _arch(args)
+    stats = CampaignStats()
+    model = SSMDVFSModel.load(args.model) if args.model else None
+    config = ServeChaosConfig(
+        trials=args.trials, seed=args.seed, serve=_serve_config(args),
+        recovery_budget_ticks=args.recovery_budget,
+        crash_write_trials=args.crash_trials)
+    result = run_serve_chaos(arch, config, model=model,
+                             store_root=args.store, workers=args.workers,
+                             stats=stats)
+    print(result.render())
+    if args.export:
+        path = result.export_json(args.export)
+        print(f"exported -> {path}")
+    _print_stats(args, stats)
+    return 0 if result.passed else 1
+
+
 def cmd_store(args) -> int:
     """Inspect the artifact registry; optionally force a rollback."""
     from .errors import ArtifactCorrupt
@@ -670,6 +732,68 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--export", default=None,
                    help="write the chaos result payload as JSON")
     p.set_defaults(func=cmd_fleet_chaos)
+
+    def serve_knobs(p):
+        """Knobs shared by ``serve`` and ``serve-chaos``."""
+        p.add_argument("--streams", type=int, default=3,
+                       help="simulated GPU telemetry streams")
+        p.add_argument("--ticks", type=int, default=240,
+                       help="serving horizon in scheduler ticks")
+        p.add_argument("--replicas", type=int, default=2,
+                       help="supervised controller workers (part of the "
+                            "scenario, unlike the phase-1 --workers)")
+        p.add_argument("--queue-capacity", type=int, default=12,
+                       help="bounded request-queue occupancy")
+        p.add_argument("--preset", type=float, nargs="+", default=[0.10])
+        p.add_argument("--model", default=None,
+                       help="saved SSMDVFS model pair (omit to serve "
+                            "through the governor baseline)")
+        p.add_argument("--no-online", action="store_true",
+                       help="disable gated online Calibrator updates")
+        p.add_argument("--crash-rate", type=float, default=1.5,
+                       help="expected worker crashes per worker per run")
+        p.add_argument("--hang-rate", type=float, default=1.0,
+                       help="expected worker hangs per worker per run")
+        p.add_argument("--stall-rate", type=float, default=1.0,
+                       help="expected inference-stall episodes per run")
+        p.add_argument("--storm-rate", type=float, default=1.0,
+                       help="expected telemetry storms per stream per run")
+        p.add_argument("--gap-rate", type=float, default=1.0,
+                       help="expected telemetry gaps per stream per run")
+        p.add_argument("--poison-rate", type=float, default=1.0,
+                       help="expected poisoned online updates per run")
+        p.add_argument("--burst-rate", type=float, default=1.0,
+                       help="expected overload bursts per run")
+        p.add_argument("--export", default=None,
+                       help="write the result payload as JSON")
+
+    p = sub.add_parser("serve",
+                       help="one deterministic serving replay of the "
+                            "always-on runtime")
+    common(p, cache=False)
+    serve_knobs(p)
+    p.add_argument("--store", default=None,
+                   help="artifact-store root for checkpointed restarts "
+                        "and online-update versioning")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("serve-chaos",
+                       help="seeded fault trains over the serving "
+                            "runtime; exit 1 on invariant violation")
+    common(p, cache=False)
+    serve_knobs(p)
+    p.add_argument("--trials", type=int, default=3,
+                   help="randomized fault trains to replay")
+    p.add_argument("--recovery-budget", type=int, default=48,
+                   help="max ticks any worker outage may take to "
+                        "recover (invariant 3)")
+    p.add_argument("--store", default=".cache/serve-chaos-store",
+                   help="root for per-trial stores and the crash-write "
+                        "torture phase")
+    p.add_argument("--crash-trials", type=int, default=16,
+                   help="sampled kill offsets of the crash-write "
+                        "torture phase")
+    p.set_defaults(func=cmd_serve_chaos)
 
     p = sub.add_parser("store",
                        help="inspect the artifact registry "

@@ -37,8 +37,12 @@ from the artifact registry's last-known-good pair (via a
 :class:`~repro.core.drift.RollbackManager`) and re-enters PROBATION to
 validate it; when nothing in the registry verifies, the guard pins
 itself in FALLBACK — the static default operating point cannot violate
-the preset — for the rest of the run.  In strict mode a drift alarm
-raises :class:`~repro.errors.DriftDetected` instead.
+the preset — for the rest of the run.  Hot-swaps carry a cooldown
+(``swap_cooldown_epochs``): a re-alarm before it elapses is counted as
+``drift_swap_suppressed`` and ridden out in plain FALLBACK instead of
+swapping again, which prevents two half-bad registry pairs from
+oscillating A -> B -> A forever.  In strict mode a drift alarm raises
+:class:`~repro.errors.DriftDetected` instead.
 
 Per-guard trip counters are exposed through
 :meth:`observability_counters` (``guard_*``, plus ``drift_*`` /
@@ -69,7 +73,8 @@ class GuardedController(BasePolicy):
                  probation_epochs: int = 10,
                  max_counter_value: float = 1e15,
                  strict: bool = False,
-                 drift_monitor=None, rollback=None) -> None:
+                 drift_monitor=None, rollback=None,
+                 swap_cooldown_epochs: int = 50) -> None:
         super().__init__()
         if trip_threshold < 1:
             raise PolicyError("trip_threshold must be >= 1")
@@ -77,6 +82,8 @@ class GuardedController(BasePolicy):
             raise PolicyError("fallback/probation windows must be >= 1 epoch")
         if max_counter_value <= 0:
             raise PolicyError("max_counter_value must be positive")
+        if swap_cooldown_epochs < 0:
+            raise PolicyError("swap_cooldown_epochs cannot be negative")
         self.inner = inner
         self.name = f"{inner.name}+guard"
         self.fallback_level = fallback_level
@@ -91,6 +98,11 @@ class GuardedController(BasePolicy):
         #: Optional :class:`~repro.core.drift.RollbackManager` used to
         #: hot-swap the wrapped policy on a confirmed drift alarm.
         self.rollback = rollback
+        #: Minimum epochs between drift hot-swaps.  A freshly swapped
+        #: pair that re-alarms inside this window cannot trigger
+        #: another swap (which would oscillate through the registry);
+        #: the guard rides out the alarm in plain FALLBACK instead.
+        self.swap_cooldown_epochs = int(swap_cooldown_epochs)
         self.state = ACTIVE
         self.state_trace: list[str] = []
         self.guard_counters: dict[str, int] = {}
@@ -98,6 +110,8 @@ class GuardedController(BasePolicy):
         self._state_epochs = 0
         self._fallback_level = 0
         self._pinned_fallback = False
+        #: Epochs since the last drift hot-swap (None before any swap).
+        self._since_swap: int | None = None
 
     # ------------------------------------------------------------------
     def reset(self, simulator: GPUSimulator) -> None:
@@ -115,6 +129,7 @@ class GuardedController(BasePolicy):
         self._streak = 0
         self._state_epochs = 0
         self._pinned_fallback = False
+        self._since_swap = None
         if self.drift_monitor is not None:
             self.drift_monitor.reset()
         self.inner.reset(simulator)
@@ -226,6 +241,8 @@ class GuardedController(BasePolicy):
         """Sanitize, consult (unless in fallback), update the guard FSM."""
         if self.simulator is None:
             raise PolicyError("policy not bound to a simulator")
+        if self._since_swap is not None:
+            self._since_swap += 1
         record, anomalies = self._sanitize_record(record)
 
         decision: list[int] | None = None
@@ -291,6 +308,19 @@ class GuardedController(BasePolicy):
                 f"sustained model drift confirmed after "
                 f"{self.drift_monitor.updates} monitored epochs "
                 f"(counters: {self.observability_counters()})")
+        if (self._since_swap is not None
+                and self._since_swap < self.swap_cooldown_epochs):
+            # Hot-swap hysteresis: the pair serving now was itself
+            # swapped in fewer than ``swap_cooldown_epochs`` ago.  A
+            # re-alarm this early means swapping is not converging
+            # (classic rollback oscillation: A alarms -> swap to B,
+            # B alarms -> swap back to A, ...), so suppress the swap
+            # and ride the alarm out in plain FALLBACK — probation
+            # and the next alarm outside the window stay available.
+            self._count("drift_swap_suppressed")
+            self.drift_monitor.reset()
+            self._enter(FALLBACK)
+            return None
         replacement = (self.rollback.recover()
                        if self.rollback is not None else None)
         if replacement is not None:
@@ -301,6 +331,7 @@ class GuardedController(BasePolicy):
             self.inner.reset(self.simulator)
             self.drift_monitor.reset()
             self._count("rollback_hot_swaps")
+            self._since_swap = 0
             self._enter(PROBATION)
         else:
             # Nothing in the registry verifies: the model pair cannot

@@ -107,6 +107,26 @@ class FleetFaultError(FleetError):
     configuration."""
 
 
+class ServeError(ReproError):
+    """The always-on serving runtime was configured inconsistently.
+
+    Raised for malformed :class:`~repro.serve.runtime.ServeConfig` /
+    :class:`~repro.serve.breaker.BreakerConfig` knobs (non-positive
+    capacities, thresholds or tick budgets), for protocol misuse of the
+    serving state machines (recording an outcome for a call the circuit
+    breaker never admitted), and for dispatching onto a worker that is
+    not ready."""
+
+
+class ServeFaultError(ServeError):
+    """A serving-layer fault plan or chaos knob is invalid.
+
+    Raised for malformed :class:`~repro.faults.ServeFaultConfig` /
+    :class:`~repro.faults.ServeFaultEvent` descriptions (unknown fault
+    kinds, negative rates or tick spans, events aimed at workers or
+    streams outside the runtime)."""
+
+
 class GuardTripped(ReproError):
     """A runtime guard exceeded its trip budget with fallback disabled."""
 

@@ -146,6 +146,18 @@ _REGISTRY: tuple[ExperimentEntry, ...] = (
         extension=True,
     ),
     ExperimentEntry(
+        experiment_id="serve-chaos",
+        title="Always-on serving runtime under fault trains (extension)",
+        paper_claim="(no invalid decision served, request conservation, "
+                    "bounded recovery, byte-stable replay, shed "
+                    "discipline under serving chaos)",
+        modules=("repro.serve", "repro.evaluation.serve_chaos",
+                 "repro.faults"),
+        bench="benchmarks/bench_robustness.py",
+        driver="repro.cli.cmd_serve_chaos",
+        extension=True,
+    ),
+    ExperimentEntry(
         experiment_id="ablate-event-driven",
         title="Event-driven inference gating (extension)",
         paper_claim="(most per-epoch inferences are skippable at no cost)",

@@ -49,7 +49,7 @@ from pathlib import Path
 
 import numpy as np
 
-from .errors import FaultInjectionError, FleetFaultError
+from .errors import FaultInjectionError, FleetFaultError, ServeFaultError
 from .gpu.counters import NUM_COUNTERS, CounterSet
 from .gpu.simulator import EpochRecord, GPUSimulator
 from .parallel import derive_seed
@@ -447,6 +447,232 @@ class NodeFaultPlan:
                 raise FleetFaultError(
                     f"fault event targets node {event.node_id} but the "
                     f"fleet has only {num_nodes} nodes")
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """``{kind: event count}`` over the whole train."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def to_payload(self) -> list[dict]:
+        """JSON-ready event list in replay order."""
+        return [event.to_payload() for event in self.events]
+
+
+# ---------------------------------------------------------------------------
+# Serving-runtime faults
+# ---------------------------------------------------------------------------
+
+#: Fault kinds understood by the always-on serving runtime.  Worker
+#: kinds target a worker id, telemetry kinds a stream id, and
+#: ``poisoned_update`` / ``overload_burst`` are runtime-wide.
+SERVE_FAULT_KINDS = ("worker_crash", "worker_hang", "inference_stall",
+                     "telemetry_storm", "telemetry_gap", "poisoned_update",
+                     "overload_burst")
+
+#: Serve fault kinds aimed at a worker (``target`` is a worker id).
+_SERVE_WORKER_KINDS = ("worker_crash", "worker_hang")
+
+#: Serve fault kinds aimed at a telemetry stream.
+_SERVE_STREAM_KINDS = ("telemetry_storm", "telemetry_gap")
+
+
+@dataclass(frozen=True, order=True)
+class ServeFaultEvent:
+    """One event of a serving-runtime fault train.
+
+    ``at_tick`` is when the fault strikes on the serving loop's integer
+    tick clock; ``duration_ticks`` how long windowed faults (stalls,
+    storms, gaps, bursts) stay active — crashes, hangs and poisoned
+    updates are instantaneous triggers whose *consequences* play out
+    through the supervisor / online-update machinery.  ``target`` is a
+    worker id for worker kinds, a stream id for telemetry kinds, and
+    ``-1`` for runtime-wide kinds.  ``magnitude`` is kind-specific: the
+    latency stretch of an ``inference_stall``, the arrival multiplier
+    of an ``overload_burst``, the duplication factor of a
+    ``telemetry_storm``.  Ordering is by strike tick with target and
+    kind as deterministic tie-breaks.
+    """
+
+    at_tick: int
+    target: int
+    kind: str
+    duration_ticks: int = 1
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVE_FAULT_KINDS:
+            raise ServeFaultError(
+                f"unknown serve fault kind {self.kind!r}; "
+                f"expected one of {SERVE_FAULT_KINDS}")
+        if self.at_tick < 0:
+            raise ServeFaultError("a fault cannot strike before tick 0")
+        if self.target < -1:
+            raise ServeFaultError("target must be an id or -1 (global)")
+        if self.duration_ticks < 1:
+            raise ServeFaultError("duration_ticks must be >= 1")
+        if self.magnitude <= 0:
+            raise ServeFaultError("fault magnitude must be positive")
+
+    @property
+    def end_tick(self) -> int:
+        """First tick the windowed fault is no longer active."""
+        return self.at_tick + self.duration_ticks
+
+    def active_at(self, tick: int) -> bool:
+        """True while a windowed fault covers ``tick``."""
+        return self.at_tick <= tick < self.end_tick
+
+    def to_payload(self) -> dict:
+        """JSON-ready dict."""
+        return {"at_tick": self.at_tick, "target": self.target,
+                "kind": self.kind, "duration_ticks": self.duration_ticks,
+                "magnitude": self.magnitude}
+
+
+#: The per-kind rate knobs of :class:`ServeFaultConfig`.
+_SERVE_RATE_FIELDS = ("crash_rate", "hang_rate", "stall_rate",
+                      "storm_rate", "gap_rate", "poison_rate",
+                      "burst_rate")
+
+
+@dataclass(frozen=True)
+class ServeFaultConfig:
+    """Declarative description of one serving-chaos scenario.
+
+    ``crash_rate`` / ``hang_rate`` are expected events *per worker*
+    over the horizon, ``storm_rate`` / ``gap_rate`` per stream, and
+    ``stall_rate`` / ``poison_rate`` / ``burst_rate`` runtime-wide —
+    all Poisson intensities drawn from one stream derived from
+    ``seed``.  Windowed faults last ``min_duration_ticks`` to roughly
+    ``mean_duration_ticks`` (exponential).  ``stall_stretch`` is the
+    latency multiplier of an inference stall, ``burst_multiplier`` the
+    arrival multiplier of an overload burst, ``storm_duplicates`` the
+    duplication factor of a telemetry storm.
+    """
+
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    stall_rate: float = 0.0
+    storm_rate: float = 0.0
+    gap_rate: float = 0.0
+    poison_rate: float = 0.0
+    burst_rate: float = 0.0
+    mean_duration_ticks: float = 6.0
+    min_duration_ticks: int = 2
+    stall_stretch: float = 20.0
+    burst_multiplier: float = 4.0
+    storm_duplicates: float = 3.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in _SERVE_RATE_FIELDS:
+            rate = getattr(self, name)
+            if rate < 0:
+                raise ServeFaultError(
+                    f"{name} cannot be negative, got {rate!r}")
+        if (self.min_duration_ticks < 1
+                or self.mean_duration_ticks < self.min_duration_ticks):
+            raise ServeFaultError(
+                "durations need 1 <= min_duration_ticks <= "
+                "mean_duration_ticks")
+        if self.stall_stretch < 1.0:
+            raise ServeFaultError("stall_stretch must be >= 1")
+        if self.burst_multiplier < 1.0:
+            raise ServeFaultError("burst_multiplier must be >= 1")
+        if self.storm_duplicates < 1.0:
+            raise ServeFaultError("storm_duplicates must be >= 1")
+
+    @property
+    def any_active(self) -> bool:
+        """True if at least one fault rate is non-zero."""
+        return any(getattr(self, name) > 0.0
+                   for name in _SERVE_RATE_FIELDS)
+
+    def with_seed(self, seed: int) -> "ServeFaultConfig":
+        """The same scenario under a different fault stream."""
+        return replace(self, seed=int(seed))
+
+
+class ServeFaultPlan:
+    """A deterministic, tick-ordered train of serving-runtime faults.
+
+    Built once per serving run from a :class:`ServeFaultConfig`; the
+    same ``(config, num_workers, num_streams, horizon_ticks)`` tuple
+    always yields the identical train, which is what keeps a chaotic
+    serving replay byte-stable at any phase-1 worker count.
+    """
+
+    def __init__(self, events: list[ServeFaultEvent] | tuple = ()) -> None:
+        self.events: tuple[ServeFaultEvent, ...] = tuple(sorted(events))
+
+    @classmethod
+    def build(cls, config: ServeFaultConfig, num_workers: int,
+              num_streams: int, horizon_ticks: int) -> "ServeFaultPlan":
+        """Draw a seeded fault train for one serving run."""
+        if num_workers < 1 or num_streams < 1:
+            raise ServeFaultError(
+                "a serve fault plan needs >= 1 worker and stream")
+        if horizon_ticks < 1:
+            raise ServeFaultError("plan horizon must be >= 1 tick")
+        rng = np.random.default_rng(derive_fault_seed(
+            config.seed, "serve-plan", num_workers, num_streams))
+        events: list[ServeFaultEvent] = []
+        kind_scales = (("worker_crash", config.crash_rate, num_workers),
+                       ("worker_hang", config.hang_rate, num_workers),
+                       ("inference_stall", config.stall_rate, 1),
+                       ("telemetry_storm", config.storm_rate, num_streams),
+                       ("telemetry_gap", config.gap_rate, num_streams),
+                       ("poisoned_update", config.poison_rate, 1),
+                       ("overload_burst", config.burst_rate, 1))
+        for kind, rate, scale in kind_scales:
+            count = int(rng.poisson(rate * scale)) if rate > 0 else 0
+            for _ in range(count):
+                at_tick = int(rng.integers(horizon_ticks))
+                duration = max(config.min_duration_ticks, int(round(
+                    rng.exponential(config.mean_duration_ticks))))
+                if kind in _SERVE_WORKER_KINDS:
+                    target = int(rng.integers(num_workers))
+                elif kind in _SERVE_STREAM_KINDS:
+                    target = int(rng.integers(num_streams))
+                else:
+                    target = -1
+                if kind == "inference_stall":
+                    magnitude = config.stall_stretch
+                elif kind == "overload_burst":
+                    magnitude = config.burst_multiplier
+                elif kind == "telemetry_storm":
+                    magnitude = config.storm_duplicates
+                else:
+                    magnitude = 1.0
+                events.append(ServeFaultEvent(
+                    at_tick=at_tick, target=target, kind=kind,
+                    duration_ticks=duration, magnitude=magnitude))
+        return cls(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def validate_for(self, num_workers: int, num_streams: int) -> None:
+        """Raise if any event targets outside the runtime's topology."""
+        for event in self.events:
+            if (event.kind in _SERVE_WORKER_KINDS
+                    and event.target >= num_workers):
+                raise ServeFaultError(
+                    f"fault targets worker {event.target} but the "
+                    f"runtime has {num_workers} workers")
+            if (event.kind in _SERVE_STREAM_KINDS
+                    and event.target >= num_streams):
+                raise ServeFaultError(
+                    f"fault targets stream {event.target} but the "
+                    f"runtime has {num_streams} streams")
 
     def counts_by_kind(self) -> dict[str, int]:
         """``{kind: event count}`` over the whole train."""

@@ -1,0 +1,144 @@
+"""Circuit breaker around the ML inference path of the serving runtime.
+
+An always-on service cannot afford to keep paying for inference that is
+failing or stalling: every slow call holds a worker, every retry feeds
+back into queue delay, and a wedged model turns overload into an
+outage.  :class:`CircuitBreaker` is the classic three-state machine —
+CLOSED (calls flow), OPEN (calls short-circuit to the governor/PCSTALL
+baseline), HALF_OPEN (a probe trickle decides whether to close again) —
+driven entirely by the serving loop's integer tick clock, so the whole
+state trajectory is deterministic for a seeded run.
+
+Transitions::
+
+    CLOSED   --(failure streak >= failure_threshold)--> OPEN
+    OPEN     --(open_ticks elapsed)-------------------> HALF_OPEN
+    HALF_OPEN--(probe_successes clean probes)---------> CLOSED
+    HALF_OPEN--(any probe failure)--------------------> OPEN
+
+A success slower than ``latency_budget_s`` counts as a failure: the
+breaker's job is protecting tail latency, and a model that answers
+correctly but late is still burning the deadline budget of everything
+queued behind it.  ``breaker_*`` counters expose every transition and
+short-circuited call for ``--stats`` and the chaos harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ServeError
+
+#: Breaker states (strings so traces and exports read naturally).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Thresholds of the inference circuit breaker.
+
+    ``failure_threshold`` consecutive failures trip CLOSED -> OPEN;
+    after ``open_ticks`` the breaker admits probes (HALF_OPEN), and
+    ``probe_successes`` consecutive clean probes close it again.  A
+    success with latency above ``latency_budget_s`` is accounted as a
+    failure.
+    """
+
+    failure_threshold: int = 3
+    latency_budget_s: float = 50e-6
+    open_ticks: int = 8
+    probe_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ServeError("failure_threshold must be >= 1")
+        if self.latency_budget_s <= 0:
+            raise ServeError("latency_budget_s must be positive")
+        if self.open_ticks < 1:
+            raise ServeError("open_ticks must be >= 1")
+        if self.probe_successes < 1:
+            raise ServeError("probe_successes must be >= 1")
+
+
+class CircuitBreaker:
+    """Tick-driven closed/open/half-open breaker for one inference path.
+
+    The caller asks :meth:`allow` before every inference and reports
+    the outcome with :meth:`record_success` / :meth:`record_failure`;
+    the breaker never measures time itself — the serving loop's tick is
+    the only clock, which keeps seeded replays byte-stable.
+    """
+
+    def __init__(self, config: BreakerConfig | None = None) -> None:
+        self.config = config or BreakerConfig()
+        self.state = CLOSED
+        self.counters: dict[str, int] = {}
+        self._failure_streak = 0
+        self._probe_streak = 0
+        self._opened_at = 0
+        self._admitted = 0  # calls allowed but not yet resolved
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------------
+    def allow(self, now_tick: int) -> bool:
+        """True when a call may go through the ML path at ``now_tick``."""
+        if self.state == OPEN:
+            if now_tick - self._opened_at >= self.config.open_ticks:
+                self.state = HALF_OPEN
+                self._probe_streak = 0
+                self._count("breaker_half_opens")
+            else:
+                self._count("breaker_short_circuits")
+                return False
+        if self.state == HALF_OPEN:
+            self._count("breaker_probes")
+        self._admitted += 1
+        return True
+
+    def _resolve(self) -> None:
+        if self._admitted < 1:
+            raise ServeError(
+                "breaker outcome recorded for a call that was never "
+                "admitted through allow()")
+        self._admitted -= 1
+
+    def record_success(self, now_tick: int, latency_s: float) -> None:
+        """Report a completed call; slow successes count as failures."""
+        if latency_s > self.config.latency_budget_s:
+            self._count("breaker_slow_successes")
+            self.record_failure(now_tick)
+            return
+        self._resolve()
+        self._failure_streak = 0
+        if self.state == HALF_OPEN:
+            self._probe_streak += 1
+            if self._probe_streak >= self.config.probe_successes:
+                self.state = CLOSED
+                self._count("breaker_closes")
+
+    def record_failure(self, now_tick: int) -> None:
+        """Report a failed (or over-budget) call admitted earlier."""
+        self._resolve()
+        self._count("breaker_failures")
+        if self.state == HALF_OPEN:
+            # One bad probe is enough evidence: back to OPEN.
+            self.state = OPEN
+            self._opened_at = now_tick
+            self._failure_streak = 0
+            self._count("breaker_reopens")
+            return
+        self._failure_streak += 1
+        if (self.state == CLOSED
+                and self._failure_streak >= self.config.failure_threshold):
+            self.state = OPEN
+            self._opened_at = now_tick
+            self._failure_streak = 0
+            self._count("breaker_trips")
+
+    def observability_counters(self) -> dict[str, int]:
+        """Breaker counters (``breaker_*``), for ``--stats`` fold-in."""
+        return dict(self.counters)

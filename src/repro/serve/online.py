@@ -1,0 +1,233 @@
+"""Safe online Calibrator fine-tuning from served windows.
+
+The paper's self-calibration loop adjusts the *working preset* online;
+this module closes the bigger loop: the Calibrator network itself is
+incrementally fine-tuned from live traffic.  Online updates are the
+most dangerous write path in the system — a poisoned batch can turn
+every prediction to garbage — so every update passes three gates
+before it can serve:
+
+1. **Shadow evaluation** — the candidate (a clone of the serving
+   Calibrator, fine-tuned on the buffered windows) is scored against
+   the incumbent on a held-out tail of recent samples; it is rejected
+   unless its error is at least as good within ``tolerance``.
+2. **Finiteness verification** — the promoted pair must pass
+   :meth:`~repro.core.combined.SSMDVFSModel.verify` (NaN/Inf weights
+   are an immediate reject, which is how a poisoned update dies).
+3. **Probation before blessing** — a promoted pair is ``put`` into the
+   artifact store *unblessed*; only after ``probation_windows``
+   further observed windows without a drift alarm is it
+   ``mark_good``-ed.  Until then the drift -> rollback machinery
+   (PR 5) restores the previous last-known-good on any alarm.
+
+Labels follow the SNIPPETS.md snippet 3 window idiom: the feature
+window served at sequence ``n`` gets its regression target (the
+throughput ratio) from the window observed at ``n + 1``.
+``online_*`` counters expose the whole lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.combined import PAIR_SCHEMA, SSMDVFSModel
+from ..errors import ServeError, TrainingError
+from ..nn.trainer import TrainConfig, train_regressor
+from ..store import ArtifactStore
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Knobs of the online fine-tuning loop.
+
+    An update is attempted every ``update_interval`` buffered samples;
+    ``holdout_fraction`` of the freshest samples form the shadow set.
+    ``tolerance`` is the relative error slack the candidate gets over
+    the incumbent (a candidate may be promoted when marginally worse on
+    the tiny shadow set, never when clearly worse).
+    """
+
+    update_interval: int = 48
+    holdout_fraction: float = 0.25
+    tolerance: float = 0.05
+    epochs: int = 12
+    learning_rate: float = 5e-4
+    probation_windows: int = 24
+    max_buffer: int = 512
+
+    def __post_init__(self) -> None:
+        if self.update_interval < 8:
+            raise ServeError("update_interval must be >= 8 samples")
+        if not 0.0 < self.holdout_fraction < 1.0:
+            raise ServeError("holdout_fraction must be in (0, 1)")
+        if self.tolerance < 0:
+            raise ServeError("tolerance cannot be negative")
+        if self.epochs < 1 or self.learning_rate <= 0:
+            raise ServeError("epochs >= 1 and learning_rate > 0 required")
+        if self.probation_windows < 1:
+            raise ServeError("probation_windows must be >= 1")
+        if self.max_buffer < self.update_interval:
+            raise ServeError("max_buffer must hold one update interval")
+
+
+class OnlineCalibrator:
+    """Gated incremental fine-tuning of the serving Calibrator.
+
+    Owns the live :class:`~repro.core.combined.SSMDVFSModel`, a bounded
+    sample buffer, and the promotion lifecycle against the artifact
+    store.  The runtime feeds observed windows through :meth:`observe`
+    and pumps :meth:`maybe_update` once per tick; on promotion the new
+    pair becomes :attr:`model` (picked up by workers on their next
+    rebuild) and starts its probation countdown.
+    """
+
+    def __init__(self, model: SSMDVFSModel, store: ArtifactStore,
+                 artifact_name: str,
+                 config: OnlineConfig | None = None, *,
+                 seed: int = 0) -> None:
+        self.model = model
+        self.store = store
+        self.artifact_name = artifact_name
+        self.config = config or OnlineConfig()
+        self.seed = int(seed)
+        self.counters: dict[str, int] = {}
+        self._features: list[np.ndarray] = []
+        self._targets: list[float] = []
+        self._poison_next = False
+        self._since_attempt = 0
+        self._updates = 0
+        #: (version, windows remaining) of a promotion still on probation.
+        self._probation: tuple[int, int] | None = None
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------------
+    def poison_next_update(self) -> None:
+        """Fault hook: corrupt the next candidate before its gates."""
+        self._poison_next = True
+
+    def observe(self, raw_features: np.ndarray, level: int,
+                ratio: float) -> None:
+        """Buffer one labelled window (features + level -> next ratio).
+
+        ``raw_features`` is the unscaled extractor output for the
+        served window; ``ratio`` is the next window's instruction count
+        over this one's — the label only known one window later.
+        """
+        if not np.isfinite(ratio) or ratio < 0:
+            self._count("online_label_rejected")
+            return
+        row = np.concatenate([np.asarray(raw_features, dtype=np.float64),
+                              [float(level)]])
+        if not np.all(np.isfinite(row)):
+            self._count("online_label_rejected")
+            return
+        self._features.append(row)
+        self._targets.append(float(ratio))
+        self._since_attempt += 1
+        overflow = len(self._features) - self.config.max_buffer
+        if overflow > 0:
+            del self._features[:overflow]
+            del self._targets[:overflow]
+        self._count("online_samples")
+        if self._probation is not None:
+            version, remaining = self._probation
+            remaining -= 1
+            if remaining <= 0:
+                self.store.mark_good(self.artifact_name, version)
+                self._count("online_marked_good")
+                self._probation = None
+            else:
+                self._probation = (version, remaining)
+
+    def drift_alarmed(self) -> None:
+        """Notify that the guard's drift layer alarmed: cancel probation.
+
+        The rollback machinery is restoring the previous known-good
+        pair; the on-probation promotion must never be blessed.
+        """
+        if self._probation is not None:
+            self._count("online_probation_aborted")
+            self._probation = None
+
+    # ------------------------------------------------------------------
+    def _shadow_error(self, model_pair: SSMDVFSModel, x: np.ndarray,
+                      y: np.ndarray) -> float:
+        scaled = model_pair.calibrator_scaler.transform(x)
+        predictions = model_pair.calibrator_model.predict_scalar(scaled)
+        if not np.all(np.isfinite(predictions)):
+            return float("inf")
+        return float(np.mean((predictions - y) ** 2))
+
+    def maybe_update(self) -> str | None:
+        """Attempt one gated update when the buffer warrants it.
+
+        Returns ``"promoted"`` / ``"rejected"`` for an attempted
+        update, None when the buffer is still filling.  Deterministic:
+        the training seed derives from the base seed and the update
+        ordinal only.
+        """
+        interval = self.config.update_interval
+        if len(self._features) < interval or self._since_attempt < interval:
+            return None
+        self._since_attempt = 0
+        self._updates += 1
+        self._count("online_updates_attempted")
+        x = np.stack(self._features)
+        y = np.asarray(self._targets, dtype=np.float64)
+        n_holdout = max(2, int(len(x) * self.config.holdout_fraction))
+        x_train, y_train = x[:-n_holdout], y[:-n_holdout]
+        x_hold, y_hold = x[-n_holdout:], y[-n_holdout:]
+
+        candidate = self.model.calibrator_model.clone()
+        try:
+            train_regressor(
+                candidate,
+                self.model.calibrator_scaler.transform(x_train), y_train,
+                TrainConfig(epochs=self.config.epochs,
+                            learning_rate=self.config.learning_rate,
+                            validation_fraction=0.0,
+                            patience=self.config.epochs,
+                            seed=self.seed + self._updates))
+        except TrainingError:
+            self._count("online_updates_rejected")
+            return "rejected"
+        if self._poison_next:
+            # Injected poisoning: the fine-tuned weights are corrupted
+            # after training, exactly where a bad batch or a bitflip
+            # would land.  The gates below must catch it.
+            self._poison_next = False
+            self._count("online_poison_injected")
+            candidate.layers[0].weights[:] = np.nan
+
+        pair = SSMDVFSModel(
+            decision_model=self.model.decision_model,
+            calibrator_model=candidate,
+            feature_names=self.model.feature_names,
+            issue_width=self.model.issue_width,
+            num_levels=self.model.num_levels,
+            decision_scaler=self.model.decision_scaler,
+            calibrator_scaler=self.model.calibrator_scaler,
+            metadata=dict(self.model.metadata,
+                          online_update=self._updates))
+        incumbent_err = self._shadow_error(self.model, x_hold, y_hold)
+        candidate_err = self._shadow_error(pair, x_hold, y_hold)
+        if (not pair.verify()
+                or not np.isfinite(candidate_err)
+                or candidate_err > incumbent_err
+                * (1.0 + self.config.tolerance) + 1e-12):
+            self._count("online_updates_rejected")
+            return "rejected"
+        version = self.store.put(self.artifact_name, pair.to_bytes(),
+                                 schema=PAIR_SCHEMA)
+        self.model = pair
+        self._probation = (version, self.config.probation_windows)
+        self._count("online_updates_promoted")
+        return "promoted"
+
+    def observability_counters(self) -> dict[str, int]:
+        """Online-loop counters (``online_*``), for ``--stats``."""
+        return dict(self.counters)

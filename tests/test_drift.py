@@ -333,3 +333,74 @@ def test_healthy_policy_never_trips_drift(small_arch):
     _drive(guard, simulator, 60)
     assert guard.observability_counters().get("drift_trips", 0) == 0
     assert guard.state == ACTIVE
+
+
+# ---------------------------------------------------------------------------
+# Hot-swap cooldown (oscillation hysteresis)
+# ---------------------------------------------------------------------------
+
+class _OscillatingRollback:
+    """Registry stub whose every recovery is itself a drifting pair.
+
+    The pathological case the cooldown exists for: every swapped-in
+    replacement re-alarms, so an unguarded swap loop would thrash
+    through the registry forever.
+    """
+
+    def __init__(self):
+        self.calls = 0
+
+    def recover(self):
+        self.calls += 1
+        return _DriftingPolicy()
+
+    def observability_counters(self):
+        return {}
+
+
+def test_swap_cooldown_suppresses_rollback_oscillation(small_arch):
+    rollback = _OscillatingRollback()
+    guard = GuardedController(
+        _DriftingPolicy(),
+        drift_monitor=DriftMonitor(DriftConfig(warmup_updates=2)),
+        rollback=rollback, fallback_epochs=2, probation_epochs=2,
+        swap_cooldown_epochs=500)
+    simulator = GPUSimulator(small_arch, _kernel(iterations=120), seed=0)
+    guard.reset(simulator)
+    _drive(guard, simulator, 150)
+    # Exactly one swap; every re-alarm inside the cooldown is suppressed
+    # and ridden out in plain (unpinned) fallback instead.
+    assert rollback.calls == 1
+    counters = guard.observability_counters()
+    assert counters["rollback_hot_swaps"] == 1
+    assert counters["drift_swap_suppressed"] >= 1
+    assert not guard._pinned_fallback
+
+
+def test_swap_allowed_again_after_cooldown_elapses(small_arch):
+    rollback = _OscillatingRollback()
+    guard = GuardedController(
+        _DriftingPolicy(),
+        drift_monitor=DriftMonitor(DriftConfig(warmup_updates=2)),
+        rollback=rollback, fallback_epochs=2, probation_epochs=2,
+        swap_cooldown_epochs=10)
+    simulator = GPUSimulator(small_arch, _kernel(iterations=120), seed=0)
+    guard.reset(simulator)
+    _drive(guard, simulator, 150)
+    # A short cooldown only spaces swaps out; it must not pin the guard
+    # into never swapping again.
+    assert rollback.calls >= 2
+
+
+def test_zero_cooldown_preserves_legacy_swap_behaviour(small_arch):
+    rollback = _OscillatingRollback()
+    guard = GuardedController(
+        _DriftingPolicy(),
+        drift_monitor=DriftMonitor(DriftConfig(warmup_updates=2)),
+        rollback=rollback, fallback_epochs=2, probation_epochs=2,
+        swap_cooldown_epochs=0)
+    simulator = GPUSimulator(small_arch, _kernel(iterations=120), seed=0)
+    guard.reset(simulator)
+    _drive(guard, simulator, 150)
+    assert rollback.calls >= 2
+    assert "drift_swap_suppressed" not in guard.observability_counters()

@@ -11,7 +11,7 @@ import repro
 PACKAGES = ["repro", "repro.gpu", "repro.gpu.detailed", "repro.power",
             "repro.workloads", "repro.nn", "repro.datagen", "repro.core",
             "repro.baselines", "repro.hardware", "repro.evaluation",
-            "repro.fleet"]
+            "repro.fleet", "repro.serve"]
 
 
 def _walk_modules():
